@@ -1,0 +1,180 @@
+package rendezvous
+
+// The benchmark harness regenerates every experiment table (see DESIGN.md's
+// per-experiment index): one benchmark per table E1-E9 plus the ablations
+// A1-A3, and micro-benchmarks of the simulation engine. Run with
+//
+//	go test -bench=. -benchmem
+//
+// An experiment benchmark failing (b.Fatal) means a paper claim did not
+// reproduce.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/experiments"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/trajectory"
+)
+
+// benchExperiment runs one experiment table per iteration.
+func benchExperiment(b *testing.B, run func() (experiments.Table, error)) {
+	b.Helper()
+	var rows int
+	for b.Loop() {
+		table, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(table.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkE1SearchScaling(b *testing.B)     { benchExperiment(b, experiments.E1SearchScaling) }
+func BenchmarkE2Durations(b *testing.B)         { benchExperiment(b, experiments.E2Durations) }
+func BenchmarkE3SameChirality(b *testing.B)     { benchExperiment(b, experiments.E3SameChirality) }
+func BenchmarkE4OppositeChirality(b *testing.B) { benchExperiment(b, experiments.E4OppositeChirality) }
+
+func BenchmarkE5PhaseSchedule(b *testing.B) {
+	benchExperiment(b, func() (experiments.Table, error) {
+		// Walking all 12 rounds costs seconds; the benchmark covers 8.
+		return experiments.E5PhaseScheduleN(8)
+	})
+}
+
+func BenchmarkE6Overlap(b *testing.B)         { benchExperiment(b, experiments.E6Overlap) }
+func BenchmarkE7UniversalRounds(b *testing.B) { benchExperiment(b, experiments.E7UniversalRounds) }
+func BenchmarkE8Feasibility(b *testing.B)     { benchExperiment(b, experiments.E8Feasibility) }
+func BenchmarkE9Baselines(b *testing.B)       { benchExperiment(b, experiments.E9Baselines) }
+func BenchmarkE10Gathering(b *testing.B)      { benchExperiment(b, experiments.E10Gathering) }
+func BenchmarkE11LineVsPlane(b *testing.B)    { benchExperiment(b, experiments.E11LineVsPlane) }
+func BenchmarkE12Coverage(b *testing.B)       { benchExperiment(b, experiments.E12Coverage) }
+func BenchmarkE13Competitive(b *testing.B)    { benchExperiment(b, experiments.E13CompetitiveRatio) }
+func BenchmarkE14FaultInjection(b *testing.B) { benchExperiment(b, experiments.E14FaultInjection) }
+func BenchmarkE15PriceOfSymmetry(b *testing.B) {
+	benchExperiment(b, experiments.E15PriceOfSymmetry)
+}
+func BenchmarkE16VariableSpeed(b *testing.B) { benchExperiment(b, experiments.E16VariableSpeed) }
+
+func BenchmarkAblationFixedStep(b *testing.B) { benchExperiment(b, experiments.A1FixedStepDetector) }
+func BenchmarkAblationNoWait(b *testing.B)    { benchExperiment(b, experiments.A2NoFinalWait) }
+func BenchmarkAblationNoRev(b *testing.B)     { benchExperiment(b, experiments.A3NoReversePass) }
+
+// --- engine micro-benchmarks -------------------------------------------
+
+// BenchmarkRendezvousDifferentSpeeds measures one full simulated rendezvous
+// (the Theorem 2 fast path: mostly closed-form contact tests).
+func BenchmarkRendezvousDifferentSpeeds(b *testing.B) {
+	in := Instance{
+		Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},
+		D:     XY(1, 0),
+		R:     0.25,
+	}
+	for b.Loop() {
+		res, err := Rendezvous(CumulativeSearch(), in, Options{Horizon: 1e4})
+		if err != nil || !res.Met {
+			b.Fatalf("met=%v err=%v", res.Met, err)
+		}
+	}
+}
+
+// BenchmarkRendezvousUniversal measures one simulated rendezvous under
+// Algorithm 7 with asymmetric clocks (the Section 4 machinery).
+func BenchmarkRendezvousUniversal(b *testing.B) {
+	in := Instance{
+		Attrs: Attributes{V: 1, Tau: 0.5, Phi: 0, Chi: CCW},
+		D:     XY(1, 0),
+		R:     0.25,
+	}
+	for b.Loop() {
+		res, err := Rendezvous(Universal(), in, Options{Horizon: 1e5})
+		if err != nil || !res.Met {
+			b.Fatalf("met=%v err=%v", res.Met, err)
+		}
+	}
+}
+
+// BenchmarkSearchDeepRound measures a search that must reach round 4 of
+// Algorithm 4 (hundreds of thousands of segments).
+func BenchmarkSearchDeepRound(b *testing.B) {
+	target := Polar(2, 0.9)
+	for b.Loop() {
+		res, err := Search(CumulativeSearch(), target, 0.01, Options{Horizon: 1e6})
+		if err != nil || !res.Met {
+			b.Fatalf("met=%v err=%v", res.Met, err)
+		}
+	}
+}
+
+// BenchmarkFirstContactLinear measures the closed-form linear-linear
+// detector.
+func BenchmarkFirstContactLinear(b *testing.B) {
+	a := motion.Linear{P0: geom.V(0, 0), Vel: geom.V(1, 0)}
+	c := motion.Linear{P0: geom.V(10, 0.25), Vel: geom.V(-1, 0)}
+	opt := motion.DefaultOptions(0.5)
+	for b.Loop() {
+		if _, found, err := motion.FirstContact(a, c, 0.5, 0, 100, opt); !found || err != nil {
+			b.Fatal("no contact")
+		}
+	}
+}
+
+// BenchmarkFirstContactArcStatic measures the closed-form circular-static
+// detector (the hot path of every SearchCircle pass).
+func BenchmarkFirstContactArcStatic(b *testing.B) {
+	c := motion.Circular{Center: geom.Zero, Radius: 1, Theta0: 0, Omega: 1}
+	p := motion.Static(geom.V(0, 1.8))
+	opt := motion.DefaultOptions(1)
+	for b.Loop() {
+		if _, found, err := motion.FirstContact(c, p, 1, 0, 10, opt); !found || err != nil {
+			b.Fatal("no contact")
+		}
+	}
+}
+
+// BenchmarkFirstContactConservative measures the safe-advance fallback on an
+// arc-arc encounter.
+func BenchmarkFirstContactConservative(b *testing.B) {
+	x := motion.Circular{Center: geom.V(-2, 0), Radius: 1, Theta0: math.Pi, Omega: 1}
+	y := motion.Circular{Center: geom.V(2, 0), Radius: 1, Theta0: 0, Omega: 1.7}
+	xf := motion.Func{F: x.At, Bound: x.SpeedBound()}
+	yf := motion.Func{F: y.At, Bound: y.SpeedBound()}
+	opt := motion.Options{Slack: 1e-9, MaxIters: 10_000_000}
+	for b.Loop() {
+		if _, found, err := motion.FirstContact(xf, yf, 2.1, 0, 60, opt); !found || err != nil {
+			b.Fatal("no contact")
+		}
+	}
+}
+
+// BenchmarkTrajectoryGeneration measures pure segment-stream throughput for
+// the paper's Algorithm 4 (no simulation).
+func BenchmarkTrajectoryGeneration(b *testing.B) {
+	for b.Loop() {
+		n := 0
+		for range algo.CumulativeSearch() {
+			n++
+			if n == 100_000 {
+				break
+			}
+		}
+	}
+	b.ReportMetric(100_000, "segments/op")
+}
+
+// BenchmarkWalker measures the forward cursor over a frame-transformed
+// trajectory (what the simulator actually iterates).
+func BenchmarkWalker(b *testing.B) {
+	attrs := Attributes{V: 0.5, Tau: 1.5, Phi: 1.1, Chi: CW}
+	for b.Loop() {
+		w := trajectory.NewWalker(attrs.Apply(algo.CumulativeSearch(), geom.V(1, 0)))
+		if _, _, ok := w.SegmentAt(5e4); !ok {
+			b.Fatal("walker exhausted unexpectedly")
+		}
+		w.Close()
+	}
+}

@@ -1,0 +1,39 @@
+// Command experiments regenerates every experiment table of the
+// reproduction: E1-E9 reproduce the paper's quantitative claims (theorem
+// bounds, phase schedules, feasibility grid, baselines) and A1-A3 ablate our
+// own design choices. See DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for a recorded reference run.
+//
+// Usage:
+//
+//	experiments [-run ID] [-markdown]
+//
+// A non-zero exit status means a paper claim failed to reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id       = flag.String("run", "", "run a single experiment by id (e.g. E3); empty = all")
+		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of text")
+	)
+	flag.Parse()
+
+	var err error
+	if *id == "" {
+		err = experiments.RunAll(os.Stdout, *markdown)
+	} else {
+		err = experiments.RunOne(*id, os.Stdout, *markdown)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,108 @@
+// Command gathersim simulates n robots with hidden attributes all running
+// the paper's search algorithm, and reports every pairwise first meeting
+// plus whether simultaneous gathering (diameter ≤ r) occurs — the open
+// problem of the paper's Section 5.
+//
+// Robots are specified with repeated -robot flags of the form
+//
+//	v,tau,phi,chi,x,y
+//
+// e.g. -robot 1,1,0,1,0,0 -robot 0.5,1,0,1,1,0. With no -robot flags a
+// default three-robot instance is used.
+//
+// Exit status 0 on success, 1 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/frame"
+	"repro/internal/gather"
+	"repro/internal/geom"
+)
+
+// robotFlags accumulates repeated -robot arguments.
+type robotFlags []gather.Robot
+
+// String implements flag.Value.
+func (r *robotFlags) String() string { return fmt.Sprintf("%d robots", len(*r)) }
+
+// Set implements flag.Value.
+func (r *robotFlags) Set(s string) error {
+	parts := strings.Split(s, ",")
+	if len(parts) != 6 {
+		return fmt.Errorf("want 6 comma-separated fields v,tau,phi,chi,x,y; got %q", s)
+	}
+	vals := make([]float64, 6)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return fmt.Errorf("field %d of %q: %w", i, s, err)
+		}
+		vals[i] = v
+	}
+	*r = append(*r, gather.Robot{
+		Attrs: frame.Attributes{
+			V: vals[0], Tau: vals[1], Phi: vals[2], Chi: frame.Chirality(int(vals[3])),
+		},
+		Origin: geom.V(vals[4], vals[5]),
+	})
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var robots robotFlags
+	r := flag.Float64("r", 0.25, "visibility radius")
+	horizon := flag.Float64("horizon", 2e4, "give-up time")
+	flag.Var(&robots, "robot", "robot spec v,tau,phi,chi,x,y (repeatable)")
+	flag.Parse()
+
+	if len(robots) == 0 {
+		robots = robotFlags{
+			{Attrs: frame.Attributes{V: 1, Tau: 1, Phi: 0, Chi: frame.CCW}, Origin: geom.V(0, 0)},
+			{Attrs: frame.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: frame.CCW}, Origin: geom.V(1, 0)},
+			{Attrs: frame.Attributes{V: 0.75, Tau: 1, Phi: 1.2, Chi: frame.CCW}, Origin: geom.V(0, 1)},
+		}
+	}
+	in := gather.Instance{Robots: robots, R: *r}
+	if err := in.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		return 1
+	}
+
+	fmt.Printf("%d robots, r = %g, pairwise feasible: %v\n",
+		len(robots), *r, gather.AllPairsFeasible(robots))
+	for i, rb := range robots {
+		fmt.Printf("  robot %d: %v at %v\n", i, rb.Attrs, rb.Origin)
+	}
+
+	res, err := gather.Simulate(algo.CumulativeSearch(), in, gather.Options{Horizon: *horizon})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gathersim:", err)
+		return 1
+	}
+	fmt.Println("pairwise first meetings:")
+	for _, p := range res.Pairs {
+		if p.Met {
+			fmt.Printf("  (%d,%d): t = %.6g\n", p.I, p.J, p.Time)
+		} else {
+			fmt.Printf("  (%d,%d): never (gap %.4g at horizon)\n", p.I, p.J, p.Gap)
+		}
+	}
+	if res.Gathered {
+		fmt.Printf("gathered (diameter ≤ r) at t = %.6g\n", res.GatherTime)
+	} else {
+		fmt.Printf("no simultaneous gathering (diameter %.4g at horizon %.4g)\n",
+			res.DiameterAtHorizon, *horizon)
+	}
+	return 0
+}

@@ -1,0 +1,72 @@
+// Command linesim simulates rendezvous on the infinite line — the setting
+// of the paper's predecessor, reference [11] — with robots of unknown speed,
+// clock unit, and direction.
+//
+// Usage:
+//
+//	linesim [flags]
+//
+//	-v float     speed of R′ (default 1)
+//	-tau float   clock unit of R′ (default 0.5)
+//	-dir int     direction of R′: +1 or -1 (default +1)
+//	-d float     signed initial displacement (default 1)
+//	-r float     detection radius (default 0.1)
+//	-algo string "universal" (waiting schedule) or "zigzag" (plain doubling)
+//	-horizon float  give-up time (default 1e5)
+//
+// Exit status 0 when the robots meet, 1 on error, 2 on a horizon miss.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/line"
+	"repro/internal/sim"
+	"repro/internal/trajectory"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		v       = flag.Float64("v", 1, "speed of R′")
+		tau     = flag.Float64("tau", 0.5, "clock unit of R′")
+		dir     = flag.Int("dir", 1, "direction of R′ (+1 or -1)")
+		d       = flag.Float64("d", 1, "signed initial displacement")
+		r       = flag.Float64("r", 0.1, "detection radius")
+		algoArg = flag.String("algo", "universal", `algorithm: "universal" or "zigzag"`)
+		horizon = flag.Float64("horizon", 1e5, "give-up time")
+	)
+	flag.Parse()
+
+	attrs := line.Attributes{V: *v, Tau: *tau, Dir: *dir}
+	var program trajectory.Source
+	switch *algoArg {
+	case "universal":
+		program = line.Universal()
+	case "zigzag":
+		program = line.ZigZag()
+	default:
+		fmt.Fprintf(os.Stderr, "linesim: unknown algorithm %q\n", *algoArg)
+		return 1
+	}
+
+	fmt.Printf("line instance: v=%g τ=%g dir=%+d, d=%g, r=%g\n", *v, *tau, *dir, *d, *r)
+	fmt.Printf("feasible (v≠1 ∨ τ≠1 ∨ opposite directions): %v\n", line.Feasible(attrs))
+
+	res, err := line.Rendezvous(program, line.Instance{Attrs: attrs, D: *d, R: *r},
+		sim.Options{Horizon: *horizon})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linesim:", err)
+		return 1
+	}
+	fmt.Printf("simulation (horizon %.4g): %v\n", *horizon, res)
+	if !res.Met {
+		return 2
+	}
+	return 0
+}

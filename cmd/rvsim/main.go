@@ -1,0 +1,173 @@
+// Command rvsim simulates one rendezvous instance: the reference robot R at
+// the origin and a second robot R′ with the given hidden attributes, both
+// executing the same algorithm.
+//
+// Usage:
+//
+//	rvsim [flags]
+//
+//	-v float      speed of R′ (default 0.5)
+//	-tau float    clock unit of R′ (default 1)
+//	-phi float    orientation of R′ in radians (default 0)
+//	-chi int      chirality of R′: +1 or -1 (default +1)
+//	-dx, -dy      initial displacement from R to R′ (default 1, 0)
+//	-r float      visibility radius (default 0.25)
+//	-algo string  algorithm: "universal" (Alg. 7) or "search" (Alg. 4)
+//	-horizon float  give-up time (default: 4× the paper's bound, or 1e6)
+//
+// Exit status 0 when the robots meet, 1 on error, 2 when the horizon is
+// reached without a meeting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/plot"
+	"repro/internal/trace"
+	"repro/internal/trajectory"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		v         = flag.Float64("v", 0.5, "speed of R′")
+		tau       = flag.Float64("tau", 1, "clock unit of R′")
+		phi       = flag.Float64("phi", 0, "orientation of R′ (radians)")
+		chi       = flag.Int("chi", 1, "chirality of R′ (+1 or -1)")
+		dx        = flag.Float64("dx", 1, "initial displacement x")
+		dy        = flag.Float64("dy", 0, "initial displacement y")
+		r         = flag.Float64("r", 0.25, "visibility radius")
+		algoArg   = flag.String("algo", "universal", `algorithm: "universal" or "search"`)
+		horizon   = flag.Float64("horizon", 0, "give-up time (0 = auto)")
+		traceOut  = flag.String("trace", "", "write a CSV trace of both robots to this file")
+		traceStep = flag.Float64("tracestep", 0.1, "sampling step for -trace")
+		plotOut   = flag.Bool("plot", false, "print ASCII track and gap charts")
+	)
+	flag.Parse()
+
+	in := rendezvous.Instance{
+		Attrs: rendezvous.Attributes{V: *v, Tau: *tau, Phi: *phi, Chi: rendezvous.Chirality(*chi)},
+		D:     rendezvous.XY(*dx, *dy),
+		R:     *r,
+	}
+	if err := in.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		return 1
+	}
+
+	var program rendezvous.Trajectory
+	switch *algoArg {
+	case "universal":
+		program = rendezvous.Universal()
+	case "search":
+		program = rendezvous.CumulativeSearch()
+	default:
+		fmt.Fprintf(os.Stderr, "rvsim: unknown algorithm %q\n", *algoArg)
+		return 1
+	}
+
+	verdict := rendezvous.Classify(in.Attrs)
+	bound := rendezvous.RendezvousTimeBound(in)
+	fmt.Printf("instance: attrs=%v d=%v r=%g\n", in.Attrs, in.D, in.R)
+	fmt.Printf("theorem 4: %v\n", verdict)
+	if math.IsInf(bound, 1) {
+		fmt.Println("paper bound: +Inf (infeasible)")
+	} else {
+		fmt.Printf("paper bound: %.6g\n", bound)
+	}
+
+	h := *horizon
+	if h <= 0 {
+		h = 4 * bound
+		if math.IsInf(h, 1) || h <= 0 {
+			h = 1e6
+		}
+	}
+	res, err := rendezvous.Rendezvous(program, in, rendezvous.Options{Horizon: h})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		return 1
+	}
+	fmt.Printf("simulation (horizon %.4g): %v\n", h, res)
+
+	if *traceOut != "" || *plotOut {
+		until := h
+		if res.Met {
+			until = res.Time * 1.05 // a little past the meeting
+		}
+		tr, err := recordTrace(program, in, until, *traceStep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rvsim:", err)
+			return 1
+		}
+		if *traceOut != "" {
+			if err := writeTraceCSV(*traceOut, tr); err != nil {
+				fmt.Fprintln(os.Stderr, "rvsim:", err)
+				return 1
+			}
+			fmt.Printf("trace written to %s\n", *traceOut)
+		}
+		if *plotOut {
+			if err := printCharts(tr, in.R); err != nil {
+				fmt.Fprintln(os.Stderr, "rvsim:", err)
+				return 1
+			}
+		}
+	}
+	if !res.Met {
+		if verdict.Feasible {
+			fmt.Println("note: instance is feasible; increase -horizon to find the meeting")
+		}
+		return 2
+	}
+	if !math.IsInf(bound, 1) && res.Time <= bound {
+		fmt.Printf("within paper bound: yes (%.2f%% of bound)\n", 100*res.Time/bound)
+	}
+	return 0
+}
+
+// recordTrace samples both robots' global trajectories.
+func recordTrace(program rendezvous.Trajectory, in rendezvous.Instance, until, step float64) (*trace.Trace, error) {
+	sources := []trajectory.Source{
+		frame.Reference().Apply(program, geom.Zero),
+		in.Attrs.Apply(program, in.D),
+	}
+	return trace.Record(sources, []string{"R", "Rprime"}, until, step)
+}
+
+// writeTraceCSV writes a recorded trace to the given file.
+func writeTraceCSV(path string, tr *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := tr.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// printCharts renders the ASCII track and gap charts to stdout.
+func printCharts(tr *trace.Trace, r float64) error {
+	tracks, err := plot.Tracks(tr, 72, 24)
+	if err != nil {
+		return err
+	}
+	gap, err := plot.Gap(tr, 0, 1, 72, 12, r)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tracks)
+	fmt.Println(gap)
+	return nil
+}

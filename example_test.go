@@ -1,0 +1,69 @@
+package rendezvous_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// Two robots that differ only in speed meet under the universal algorithm.
+func Example() {
+	in := rendezvous.Instance{
+		Attrs: rendezvous.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: rendezvous.CCW},
+		D:     rendezvous.XY(1, 0),
+		R:     0.25,
+	}
+	res, err := rendezvous.Rendezvous(rendezvous.Universal(), in,
+		rendezvous.Options{Horizon: 1e5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("met:", res.Met)
+	// Output:
+	// met: true
+}
+
+// Classify explains which attribute differences break symmetry (Theorem 4).
+func ExampleClassify() {
+	fmt.Println(rendezvous.Classify(rendezvous.Attributes{
+		V: 1, Tau: 0.5, Phi: 0, Chi: rendezvous.CCW,
+	}))
+	fmt.Println(rendezvous.Classify(rendezvous.Reference()))
+	// Output:
+	// feasible: different clock units (τ ≠ 1)
+	// infeasible: the robots are perfectly symmetric
+}
+
+// Feasible is the Theorem 4 characterisation as a predicate.
+func ExampleFeasible() {
+	mirror := rendezvous.Attributes{V: 1, Tau: 1, Phi: 2, Chi: rendezvous.CW}
+	rotated := rendezvous.Attributes{V: 1, Tau: 1, Phi: 2, Chi: rendezvous.CCW}
+	fmt.Println(rendezvous.Feasible(mirror), rendezvous.Feasible(rotated))
+	// Output:
+	// false true
+}
+
+// Search finds a static target with the paper's Algorithm 4 and respects
+// the Theorem 1 bound.
+func ExampleSearch() {
+	target := rendezvous.Polar(1, 0.3)
+	res, err := rendezvous.Search(rendezvous.CumulativeSearch(), target, 0.25,
+		rendezvous.Options{Horizon: 1e3})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("found:", res.Met)
+	fmt.Println("within Theorem 1 bound:", res.Time <= rendezvous.SearchTimeBound(1, 0.25))
+	// Output:
+	// found: true
+	// within Theorem 1 bound: true
+}
+
+// Mu is the frame-disagreement factor of Theorem 2.
+func ExampleMu() {
+	fmt.Printf("%.0f %.0f\n", rendezvous.Mu(1, 0), rendezvous.Mu(1, 3.141592653589793))
+	// Output:
+	// 0 2
+}

@@ -1,0 +1,40 @@
+// Quickstart: two robots that differ only in speed find each other.
+//
+// Robot R (speed 1) and robot R′ (speed 0.5) are dropped 1 unit apart on the
+// infinite plane. Neither knows its own speed, the other's speed, the
+// initial distance, or the visibility radius. Both run the paper's universal
+// Algorithm 7. Theorem 4 says the speed difference alone makes rendezvous
+// feasible — and the simulation finds the meeting.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	in := rendezvous.Instance{
+		Attrs: rendezvous.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: rendezvous.CCW},
+		D:     rendezvous.XY(1, 0), // R′ starts 1 unit east of R
+		R:     0.25,                // they see each other within 1/4 unit
+	}
+
+	fmt.Println("instance:", in.Attrs, "d =", in.D, "r =", in.R)
+	fmt.Println("verdict: ", rendezvous.Classify(in.Attrs))
+	fmt.Printf("paper bound on the meeting time: %.5g\n", rendezvous.RendezvousTimeBound(in))
+
+	res, err := rendezvous.Rendezvous(rendezvous.Universal(), in,
+		rendezvous.Options{Horizon: 1e5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Met {
+		log.Fatal("no meeting before the horizon — should not happen for a feasible instance")
+	}
+	fmt.Printf("met at t = %.5g: R at %v, R′ at %v (gap %.4g ≤ r)\n",
+		res.Time, res.WhereA, res.WhereB, res.Gap)
+}

@@ -1,0 +1,67 @@
+// Search and rescue (the workload motivating Section 2): a rescue robot must
+// locate a stationary casualty at unknown distance with an unknown-quality
+// sensor (visibility radius r).
+//
+// The example compares three strategies on the same emergencies:
+//
+//   - the paper's adaptive schedule (Algorithm 4) — needs to know nothing;
+//   - the classic sweep for a robot that knows its sensor radius;
+//   - a fixed-pitch sweep tuned for a nominal sensor — which silently fails
+//     when the actual sensor is worse than assumed.
+//
+// Run with: go run ./examples/searchrescue
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/algo"
+)
+
+type emergency struct {
+	name     string
+	distance float64
+	angle    float64
+	sensor   float64 // actual visibility radius
+}
+
+func main() {
+	emergencies := []emergency{
+		{"hiker in fog (close, poor sensor)", 0.9, 1.2, 0.05},
+		{"boat offshore (medium, good sensor)", 2.6, -0.4, 0.3},
+		{"crash site (far, poor sensor)", 4.3, 2.9, 0.08},
+	}
+
+	fmt.Println("strategy comparison (time to reach the casualty, or MISS):")
+	fmt.Printf("  %-38s %12s %12s %12s\n", "emergency", "adaptive", "known-r", "fixed 0.5")
+	for _, e := range emergencies {
+		target := rendezvous.Polar(e.distance, e.angle)
+		horizon := 4*rendezvous.SearchTimeBound(e.distance, e.sensor) + 2000
+
+		cells := make([]string, 0, 3)
+		for _, program := range []rendezvous.Trajectory{
+			rendezvous.CumulativeSearch(),
+			rendezvous.KnownVisibilitySearch(e.sensor),
+			algo.FixedPitchSweep(0.5),
+		} {
+			res, err := rendezvous.Search(program, target, e.sensor,
+				rendezvous.Options{Horizon: horizon})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Met {
+				cells = append(cells, fmt.Sprintf("%.4g", res.Time))
+			} else {
+				cells = append(cells, "MISS")
+			}
+		}
+		fmt.Printf("  %-38s %12s %12s %12s\n", e.name, cells[0], cells[1], cells[2])
+	}
+
+	fmt.Println()
+	fmt.Println("the adaptive schedule never misses and pays only a log factor over the")
+	fmt.Println("known-sensor sweep (Theorem 1); the fixed-pitch sweep misses whenever the")
+	fmt.Println("actual sensor is worse than its pitch assumes")
+}

@@ -1,0 +1,59 @@
+package algo
+
+import (
+	"repro/internal/geom"
+	"repro/internal/segment"
+	"repro/internal/trajectory"
+)
+
+// Ablation variants of the paper's algorithms. Each removes one design
+// element so experiments can measure what that element buys; see DESIGN.md
+// ("Design choices called out for ablation").
+
+// SearchRoundNoWait is Search(k) without the final wait — the wait exists
+// "only in order to simplify algebra" (Section 2), rounding the duration to
+// exactly 3(π+1)(k+1)·2^(k+1). Without it the schedule drifts below the
+// closed form and the phase-structure lemmas of Section 4 stop holding
+// exactly.
+func SearchRoundNoWait(k int) trajectory.Source {
+	return func(yield func(segment.Segment) bool) {
+		for j := 0; j <= 2*k-1; j++ {
+			delta, rho := RoundAnnulus(j, k)
+			for s := range SearchAnnulus(delta, 2*delta, rho) {
+				if !yield(s) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// UniversalNoRev is Algorithm 7 with the SearchAllRev pass replaced by an
+// equal-length wait at the origin: the round schedule (I(n), A(n)) is
+// unchanged, but the active phase performs only one forward sweep. Lemma 10
+// relies on the reverse pass (the overlap of Figure 3b begins near the *end*
+// of the active phase, which the reverse pass spends on the small rounds
+// that revisit the origin's neighbourhood); this variant shows which τ
+// regimes that matters for.
+func UniversalNoRev() trajectory.Source {
+	return trajectory.Repeat(func(n int) trajectory.Source {
+		s := SearchAllDuration(n)
+		return trajectory.Concat(
+			trajectory.FromSlice([]segment.Segment{segment.NewWait(geom.Zero, 2*s)}),
+			SearchAll(n),
+			trajectory.FromSlice([]segment.Segment{segment.NewWait(geom.Zero, s)}),
+		)
+	})
+}
+
+// UniversalNoInactive is Algorithm 7 without the inactive (waiting) phases:
+// the robot searches continuously. With symmetric speeds and asymmetric
+// clocks both robots are then always in motion and the "find the peer while
+// it waits" mechanism is lost entirely; rendezvous may still occur
+// accidentally, but no round bound holds. Included to demonstrate that the
+// waiting phases are load-bearing.
+func UniversalNoInactive() trajectory.Source {
+	return trajectory.Repeat(func(n int) trajectory.Source {
+		return trajectory.Concat(SearchAll(n), SearchAllRev(n))
+	})
+}

@@ -1,0 +1,207 @@
+// Package analysis provides offline verification tools for trajectory
+// algorithms: exact point-to-trajectory distances, coverage checking (the
+// empirical content of Lemma 1 — every point of the designed annulus is
+// approached within the designed granularity), and competitive-ratio
+// accounting against the offline optimum.
+package analysis
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/segment"
+	"repro/internal/trajectory"
+)
+
+// DistanceToSegment returns the exact minimum distance from point p to the
+// path traced by seg. Lines, waits, and arcs are closed-form; similarity
+// transforms of them unwrap exactly; anything else is sampled densely (the
+// paper's algorithms never produce such segments).
+func DistanceToSegment(p geom.Vec, seg segment.Segment) float64 {
+	switch s := seg.(type) {
+	case segment.Wait:
+		return p.Dist(s.At)
+	case segment.Line:
+		return distancePointToLineSegment(p, s.From, s.To)
+	case segment.Arc:
+		return distancePointToArc(p, s)
+	case *segment.Transformed:
+		if g, ok := segment.ArcAt(s); ok {
+			return distancePointToArcGeometry(p, g)
+		}
+		if start, end, isLinear := transformedEndpoints(s); isLinear {
+			return distancePointToLineSegment(p, start, end)
+		}
+	}
+	return sampledDistance(p, seg)
+}
+
+// transformedEndpoints reports the endpoints of a transformed line/wait.
+func transformedEndpoints(s *segment.Transformed) (start, end geom.Vec, ok bool) {
+	switch s.Inner.(type) {
+	case segment.Wait, segment.Line:
+		return s.Start(), s.End(), true
+	}
+	return geom.Vec{}, geom.Vec{}, false
+}
+
+func distancePointToLineSegment(p, a, b geom.Vec) float64 {
+	ab := b.Sub(a)
+	n2 := ab.Norm2()
+	if n2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / n2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+func distancePointToArc(p geom.Vec, a segment.Arc) float64 {
+	return distancePointToArcGeometry(p, segment.ArcGeometry{
+		Center:     a.Center,
+		Radius:     a.Radius,
+		StartAngle: a.StartAngle,
+		Omega:      a.AngularVelocity(),
+		Duration:   a.Duration(),
+	})
+}
+
+// distancePointToArcGeometry computes the exact distance from p to the arc
+// swept by g: if the angle of p (about the center) lies inside the swept
+// range, the nearest arc point is radially aligned and the distance is
+// ||p−C| − R|; otherwise it is the nearer endpoint.
+func distancePointToArcGeometry(p geom.Vec, g segment.ArcGeometry) float64 {
+	if g.Radius == 0 {
+		return p.Dist(g.Center)
+	}
+	sweep := g.Omega * g.Duration // signed total angle
+	cp := p.Sub(g.Center)
+	if math.Abs(sweep) >= 2*math.Pi {
+		// Full circle (or more): every angle is covered.
+		return math.Abs(cp.Norm() - g.Radius)
+	}
+	if cp.Norm() == 0 {
+		return g.Radius
+	}
+	// Angle of p relative to the start, measured in the sweep direction.
+	rel := normAngle((cp.Angle() - g.StartAngle) * sign(sweep))
+	if rel <= math.Abs(sweep) {
+		return math.Abs(cp.Norm() - g.Radius)
+	}
+	return math.Min(p.Dist(g.Position(0)), p.Dist(g.Position(g.Duration)))
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}
+
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// sampledDistance is the fallback for exotic segments.
+func sampledDistance(p geom.Vec, seg segment.Segment) float64 {
+	const samples = 256
+	d := math.Inf(1)
+	dur := seg.Duration()
+	for i := 0; i <= samples; i++ {
+		q := seg.Position(dur * float64(i) / samples)
+		if dd := p.Dist(q); dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// DistanceToPath returns the exact minimum distance from p to a finite
+// trajectory.
+func DistanceToPath(p geom.Vec, src trajectory.Source) float64 {
+	d := math.Inf(1)
+	for seg := range src {
+		if dd := DistanceToSegment(p, seg); dd < d {
+			d = dd
+		}
+	}
+	return d
+}
+
+// CoverageReport summarises how well a trajectory covers a target region at
+// a required granularity.
+type CoverageReport struct {
+	// Queries is the number of probe points.
+	Queries int
+	// Covered counts probes whose distance to the path is ≤ the granularity.
+	Covered int
+	// WorstGap is the maximum over probes of the distance to the path.
+	WorstGap float64
+	// WorstPoint attains WorstGap.
+	WorstPoint geom.Vec
+}
+
+// FullyCovered reports whether every probe was within the granularity.
+func (c CoverageReport) FullyCovered() bool { return c.Covered == c.Queries }
+
+// CoverAnnulus probes a polar grid over the annulus [rIn, rOut] and checks
+// each point is within rho of the trajectory produced by src. radial and
+// angular set the grid resolution (≥ 1 and ≥ 3 respectively). The source
+// function is re-invoked per probe, so it must be replayable (all algorithm
+// constructors are).
+func CoverAnnulus(src func() trajectory.Source, rIn, rOut, rho float64, radial, angular int) (CoverageReport, error) {
+	if rOut <= rIn || rIn < 0 || rho <= 0 {
+		return CoverageReport{}, errors.New("analysis: need 0 ≤ rIn < rOut and rho > 0")
+	}
+	if radial < 1 || angular < 3 {
+		return CoverageReport{}, errors.New("analysis: grid too coarse")
+	}
+	var rep CoverageReport
+	for i := 0; i <= radial; i++ {
+		radius := rIn + (rOut-rIn)*float64(i)/float64(radial)
+		for j := range angular {
+			angle := 2 * math.Pi * float64(j) / float64(angular)
+			p := geom.Polar(radius, angle)
+			d := DistanceToPath(p, src())
+			rep.Queries++
+			if d <= rho {
+				rep.Covered++
+			}
+			if d > rep.WorstGap {
+				rep.WorstGap = d
+				rep.WorstPoint = p
+			}
+		}
+	}
+	return rep, nil
+}
+
+// OfflineOptimumSearch returns the time an omniscient robot needs to find a
+// target at distance d with visibility r: walk straight, d − r (0 when the
+// target is already visible). The competitive ratio of a search strategy is
+// its time divided by this.
+func OfflineOptimumSearch(d, r float64) float64 {
+	if d <= r {
+		return 0
+	}
+	return d - r
+}
+
+// CompetitiveRatio returns measured/OfflineOptimumSearch, or +Inf when the
+// offline optimum is 0.
+func CompetitiveRatio(measured, d, r float64) float64 {
+	opt := OfflineOptimumSearch(d, r)
+	if opt == 0 {
+		return math.Inf(1)
+	}
+	return measured / opt
+}

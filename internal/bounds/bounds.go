@@ -1,0 +1,251 @@
+// Package bounds collects every closed-form quantity in the paper: the
+// durations of Lemma 2, the phase schedule of Lemma 8, the time bounds of
+// Theorems 1 and 2, the overlap amounts of Lemmas 9 and 10, and the
+// rendezvous-round predictions of Lemmas 11-13 (via the Lambert W function).
+//
+// These formulas are the "paper column" of every experiment: the simulator
+// produces measured values, and this package produces what the paper says
+// they must (at most) be.
+package bounds
+
+import (
+	"math"
+)
+
+// piPlus1 is the recurring constant π + 1 (time per unit radius of a
+// SearchCircle round trip is 2(π+1)).
+const piPlus1 = math.Pi + 1
+
+// pow2 returns 2^k for possibly negative k.
+func pow2(k int) float64 { return math.Ldexp(1, k) }
+
+// SearchCircleTime is Lemma 2: SearchCircle(δ) takes 2(π+1)δ.
+func SearchCircleTime(delta float64) float64 { return 2 * piPlus1 * delta }
+
+// SearchAnnulusTime is Lemma 2: SearchAnnulus(δ1, δ2, ρ) takes
+// 2(π+1)(1+m)(δ1+ρm) with m = ⌈(δ2−δ1)/(2ρ)⌉.
+func SearchAnnulusTime(delta1, delta2, rho float64) float64 {
+	m := math.Ceil((delta2 - delta1) / (2 * rho))
+	return 2 * piPlus1 * (1 + m) * (delta1 + rho*m)
+}
+
+// SearchRoundTime is Lemma 2: Search(k) takes 3(π+1)(k+1)·2^(k+1).
+func SearchRoundTime(k int) float64 {
+	return 3 * piPlus1 * float64(k+1) * pow2(k+1)
+}
+
+// CumulativePrefixTime is Lemma 2: the first k rounds of Algorithm 4 take
+// 3(π+1)·k·2^(k+2).
+func CumulativePrefixTime(k int) float64 {
+	return 3 * piPlus1 * float64(k) * pow2(k+2)
+}
+
+// SearchAllTime is equation (1): S(n) = 12(π+1)·n·2^n, the duration of
+// SearchAll(n) (and of SearchAllRev(n)).
+func SearchAllTime(n int) float64 {
+	return 12 * piPlus1 * float64(n) * pow2(n)
+}
+
+// InactiveStart is Lemma 8: the nth inactive phase of Algorithm 7 begins at
+// I(n) = 24(π+1)[(2n−4)·2ⁿ + 4].
+func InactiveStart(n int) float64 {
+	return 24 * piPlus1 * (float64(2*n-4)*pow2(n) + 4)
+}
+
+// ActiveStart is Lemma 8: the nth active phase of Algorithm 7 begins at
+// A(n) = 24(π+1)[(3n−4)·2ⁿ + 4].
+func ActiveStart(n int) float64 {
+	return 24 * piPlus1 * (float64(3*n-4)*pow2(n) + 4)
+}
+
+// RoundLength returns the length 4·S(n) of round n of Algorithm 7 (inactive
+// 2S(n) + active 2S(n)).
+func RoundLength(n int) float64 { return 4 * SearchAllTime(n) }
+
+// SearchTimeBound is Theorem 1: Algorithm 4 solves search in time less than
+// 6(π+1)·log₂(d²/r)·(d²/r). The bound is meaningful only when d²/r > 1; it
+// returns 0 otherwise (vacuous).
+func SearchTimeBound(d, r float64) float64 {
+	x := d * d / r
+	if x <= 1 {
+		return 0
+	}
+	return 6 * piPlus1 * math.Log2(x) * x
+}
+
+// RendezvousBoundSameChirality is Theorem 2, χ = +1: rendezvous time less
+// than 6(π+1)·log(d²/(μr))·d²/(μr) with μ = sqrt(v²−2v·cosφ+1). It returns
+// +Inf when μ = 0 (infeasible: v = 1, φ = 0).
+func RendezvousBoundSameChirality(d, r, v, phi float64) float64 {
+	mu := math.Sqrt(math.Max(0, v*v-2*v*math.Cos(phi)+1))
+	if mu == 0 {
+		return math.Inf(1)
+	}
+	return SearchTimeBound(d, mu*r)
+}
+
+// RendezvousBoundOppositeChirality is Theorem 2, χ = −1: rendezvous time
+// less than 6(π+1)·log(d²/((1−v)r))·d²/((1−v)r). It returns +Inf when v ≥ 1
+// (infeasible at v = 1; the paper's normalisation makes v ≤ 1 WLOG).
+func RendezvousBoundOppositeChirality(d, r, v float64) float64 {
+	if v >= 1 {
+		return math.Inf(1)
+	}
+	return SearchTimeBound(d, (1-v)*r)
+}
+
+// GuaranteedSearchRound returns the round of Algorithm 4 by which Lemma 1
+// guarantees discovery of a target at distance d with visibility r:
+// k = ⌊log₂(d²/r)⌋, clamped to at least 1 (rounds start at 1).
+func GuaranteedSearchRound(d, r float64) int {
+	k := int(math.Floor(math.Log2(d * d / r)))
+	if k < 1 {
+		return 1
+	}
+	return k
+}
+
+// SearchRoundOfTime returns the round of Algorithm 4 in progress at time t
+// (1-based): the smallest k with CumulativePrefixTime(k) > t.
+func SearchRoundOfTime(t float64) int {
+	k := 1
+	for CumulativePrefixTime(k) <= t {
+		k++
+	}
+	return k
+}
+
+// UniversalRoundOfTime returns the round of Algorithm 7 in progress at time
+// t: the n with I(n) ≤ t < I(n+1).
+func UniversalRoundOfTime(t float64) int {
+	n := 1
+	for InactiveStart(n+1) <= t {
+		n++
+	}
+	return n
+}
+
+// Phase identifies where inside a round of Algorithm 7 a time falls.
+type Phase struct {
+	Round  int
+	Active bool    // false: inactive (waiting) phase
+	Into   float64 // time since the phase began
+}
+
+// UniversalPhaseOfTime locates time t in the phase schedule of Algorithm 7.
+func UniversalPhaseOfTime(t float64) Phase {
+	n := UniversalRoundOfTime(t)
+	if a := ActiveStart(n); t >= a {
+		return Phase{Round: n, Active: true, Into: t - a}
+	}
+	return Phase{Round: n, Active: false, Into: t - InactiveStart(n)}
+}
+
+// OverlapActiveInactive is the overlap amount of Lemma 9: when its
+// preconditions hold, the kth active phase of R overlaps the (k+1+a)th
+// inactive phase of R′ by τ·A(k+1+a) − A(k).
+func OverlapActiveInactive(k, a int, tau float64) float64 {
+	return tau*ActiveStart(k+1+a) - ActiveStart(k)
+}
+
+// OverlapInactiveActive is the overlap amount of Lemma 10: when its
+// preconditions hold, the (k−1)st active phase of R overlaps the (k+a)th
+// inactive phase of R′ by I(k) − τ·I(k+a).
+func OverlapInactiveActive(k, a int, tau float64) float64 {
+	return InactiveStart(k) - tau*InactiveStart(k+a)
+}
+
+// LemmaNineApplies reports the precondition of Lemma 9:
+// k/((k+1+a)·2^(a+1)) ≤ τ ≤ (3/2)·k/((k+1+a)·2^(a+1)) and k ≥ 2(a+1).
+func LemmaNineApplies(k, a int, tau float64) bool {
+	if a < 0 || k < 2*(a+1) {
+		return false
+	}
+	lo := float64(k) / (float64(k+1+a) * pow2(a+1))
+	return lo <= tau && tau <= 1.5*lo
+}
+
+// LemmaTenApplies reports the precondition of Lemma 10:
+// (2/3)·k/((k+a)·2^a) ≤ τ ≤ k/((k+1+a)·2^a) and k ≥ 2(a+1).
+func LemmaTenApplies(k, a int, tau float64) bool {
+	if a < 0 || k < 2*(a+1) {
+		return false
+	}
+	lo := 2.0 / 3.0 * float64(k) / (float64(k+a) * pow2(a))
+	hi := float64(k) / (float64(k+1+a) * pow2(a))
+	return lo <= tau && tau <= hi
+}
+
+// TauDecomposition is the parameterisation of Lemma 13: τ = T·2^(−A) with
+// A ≥ 0 integer and T ∈ [1/2, 1).
+type TauDecomposition struct {
+	T float64
+	A int
+}
+
+// DecomposeTau writes 0 < τ < 1 uniquely as t·2^(−a) following Lemma 13:
+// a = ⌊−log₂ τ⌋ − 1 and t = 1/2 when τ is a power of two, otherwise
+// a = ⌊−log₂ τ⌋ and t = τ·2^a. ok is false unless 0 < τ < 1.
+func DecomposeTau(tau float64) (TauDecomposition, bool) {
+	if !(tau > 0 && tau < 1) {
+		return TauDecomposition{}, false
+	}
+	fr, exp := math.Frexp(tau) // tau = fr·2^exp, fr ∈ [1/2, 1)
+	if fr == 0.5 {
+		// Power of two: frexp gives exactly 1/2.
+		return TauDecomposition{T: 0.5, A: -exp}, true
+	}
+	return TauDecomposition{T: fr, A: -exp}, true
+}
+
+// Tau reconstructs τ from the decomposition.
+func (d TauDecomposition) Tau() float64 { return d.T * pow2(-d.A) }
+
+// RendezvousRoundBound is Lemma 13: given the round n on which R would find
+// a stationary R′, and clock ratio τ = t·2^(−a) < 1, the robots rendezvous
+// before the end of round
+//
+//	k* = max{ 8(a+1),        n + ⌈log₂(n/(a+1))⌉ }        if 1/2 ≤ t ≤ 2/3
+//	k* = max{ (a+1)·t/(1−t), n + ⌈log₂(n/(1−t))⌉ }        if 2/3 < t < 1
+//
+// ok is false unless 0 < τ < 1 (normalise with τ → 1/τ first; Theorem 3
+// takes τ < 1 WLOG).
+func RendezvousRoundBound(n int, tau float64) (kStar int, ok bool) {
+	dec, ok := DecomposeTau(tau)
+	if !ok {
+		return 0, false
+	}
+	a1 := float64(dec.A + 1)
+	if dec.T <= 2.0/3.0 {
+		byOverlap := 8 * (dec.A + 1)
+		byRound := n + int(math.Ceil(math.Log2(float64(n)/a1)))
+		return max(byOverlap, byRound, 1), true
+	}
+	byOverlap := int(math.Ceil(a1 * dec.T / (1 - dec.T)))
+	byRound := n + int(math.Ceil(math.Log2(float64(n)/(1-dec.T))))
+	return max(byOverlap, byRound, 1), true
+}
+
+// UniversalTimeBound is the Theorem 3 / Lemma 14 bound: the rendezvous time
+// of Algorithm 7 is less than the time to complete k* rounds, I(k*+1), where
+// n = GuaranteedSearchRound(d, r). ok is false unless 0 < τ < 1.
+func UniversalTimeBound(d, r, tau float64) (bound float64, ok bool) {
+	n := GuaranteedSearchRound(d, r)
+	kStar, ok := RendezvousRoundBound(n, tau)
+	if !ok {
+		return 0, false
+	}
+	return InactiveStart(kStar + 1), true
+}
+
+// NormalizeTau maps an arbitrary clock ratio τ ≠ 1 into (0, 1) by inversion
+// when needed (the paper's WLOG). ok is false for τ ≤ 0 or τ = 1.
+func NormalizeTau(tau float64) (float64, bool) {
+	if tau <= 0 || tau == 1 || math.IsNaN(tau) || math.IsInf(tau, 0) {
+		return 0, false
+	}
+	if tau > 1 {
+		return 1 / tau, true
+	}
+	return tau, true
+}

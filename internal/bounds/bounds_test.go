@@ -1,0 +1,349 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algo"
+	"repro/internal/trajectory"
+)
+
+func relClose(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestDurationsMatchSimulatedTrajectories is experiment E2 in miniature:
+// every Lemma 2 closed form equals the exactly-simulated duration.
+func TestDurationsMatchSimulatedTrajectories(t *testing.T) {
+	for _, delta := range []float64{0.1, 1, 3.7} {
+		relClose(t, "SearchCircleTime",
+			SearchCircleTime(delta), trajectory.Duration(algo.SearchCircle(delta)))
+	}
+	for _, c := range []struct{ d1, d2, rho float64 }{
+		{0.5, 1, 0.0625}, {1, 2, 0.125}, {0.25, 0.5, 0.03125},
+	} {
+		relClose(t, "SearchAnnulusTime",
+			SearchAnnulusTime(c.d1, c.d2, c.rho),
+			trajectory.Duration(algo.SearchAnnulus(c.d1, c.d2, c.rho)))
+	}
+	for k := 1; k <= 6; k++ {
+		relClose(t, "SearchRoundTime",
+			SearchRoundTime(k), trajectory.Duration(algo.SearchRound(k)))
+	}
+	for n := 1; n <= 5; n++ {
+		relClose(t, "SearchAllTime",
+			SearchAllTime(n), trajectory.Duration(algo.SearchAll(n)))
+	}
+}
+
+func TestCumulativePrefixIdentity(t *testing.T) {
+	// 3(π+1)·Σ_{j=1..k}(j+1)2^{j+1} = 3(π+1)·k·2^{k+2}.
+	for k := 1; k <= 12; k++ {
+		var sum float64
+		for j := 1; j <= k; j++ {
+			sum += SearchRoundTime(j)
+		}
+		relClose(t, "CumulativePrefixTime", CumulativePrefixTime(k), sum)
+	}
+}
+
+func TestPhaseScheduleIdentities(t *testing.T) {
+	// Lemma 8: I(n) = 4·Σ_{k<n} S(k); A(n) = I(n) + 2S(n);
+	// I(n+1) = A(n) + 2S(n).
+	for n := 1; n <= 14; n++ {
+		var sum float64
+		for k := 1; k < n; k++ {
+			sum += 4 * SearchAllTime(k)
+		}
+		relClose(t, "InactiveStart", InactiveStart(n), sum)
+		relClose(t, "ActiveStart", ActiveStart(n), InactiveStart(n)+2*SearchAllTime(n))
+		relClose(t, "next InactiveStart", InactiveStart(n+1), ActiveStart(n)+2*SearchAllTime(n))
+		relClose(t, "RoundLength", RoundLength(n), InactiveStart(n+1)-InactiveStart(n))
+	}
+}
+
+func TestInactiveStartBaseCase(t *testing.T) {
+	// I(1) = 0: the algorithm begins with the first inactive phase.
+	if got := InactiveStart(1); math.Abs(got) > 1e-9 {
+		t.Errorf("I(1) = %v, want 0", got)
+	}
+	relClose(t, "A(1)", ActiveStart(1), 2*SearchAllTime(1))
+}
+
+func TestSearchTimeBound(t *testing.T) {
+	if got := SearchTimeBound(1, 1); got != 0 {
+		t.Errorf("vacuous bound = %v, want 0", got)
+	}
+	// d=1, r=1/4: 6(π+1)·2·4.
+	relClose(t, "SearchTimeBound", SearchTimeBound(1, 0.25), 6*(math.Pi+1)*2*4)
+	// Monotone in d and 1/r.
+	if SearchTimeBound(2, 0.25) <= SearchTimeBound(1, 0.25) {
+		t.Error("bound not increasing in d")
+	}
+	if SearchTimeBound(1, 0.1) <= SearchTimeBound(1, 0.25) {
+		t.Error("bound not decreasing in r")
+	}
+}
+
+func TestRendezvousBounds(t *testing.T) {
+	// χ = +1, v = 1, φ = 0: μ = 0, infeasible.
+	if !math.IsInf(RendezvousBoundSameChirality(1, 0.25, 1, 0), 1) {
+		t.Error("expected +Inf for identical frames")
+	}
+	// χ = +1, v = 1, φ = π: μ = 2, bound = SearchTimeBound(d, 2r).
+	relClose(t, "same-chirality bound",
+		RendezvousBoundSameChirality(1, 0.25, 1, math.Pi), SearchTimeBound(1, 0.5))
+	// χ = −1: bound = SearchTimeBound(d, (1−v)r); +Inf at v = 1.
+	relClose(t, "opposite-chirality bound",
+		RendezvousBoundOppositeChirality(1, 0.25, 0.5), SearchTimeBound(1, 0.125))
+	if !math.IsInf(RendezvousBoundOppositeChirality(1, 0.25, 1), 1) {
+		t.Error("expected +Inf for χ=−1, v=1")
+	}
+}
+
+func TestGuaranteedSearchRound(t *testing.T) {
+	tests := []struct {
+		d, r float64
+		want int
+	}{
+		{1, 0.25, 2},   // d²/r = 4
+		{1, 0.5, 1},    // d²/r = 2
+		{0.5, 0.25, 1}, // d²/r = 1 → clamp to 1
+		{2, 0.125, 5},  // d²/r = 32
+		{1, 0.01, 6},   // d²/r = 100, ⌊log₂⌋ = 6
+	}
+	for _, tt := range tests {
+		if got := GuaranteedSearchRound(tt.d, tt.r); got != tt.want {
+			t.Errorf("GuaranteedSearchRound(%v, %v) = %d, want %d", tt.d, tt.r, got, tt.want)
+		}
+	}
+}
+
+func TestRoundOfTimeInverses(t *testing.T) {
+	for k := 1; k <= 10; k++ {
+		// A time just inside round k.
+		tm := CumulativePrefixTime(k) - 1
+		if got := SearchRoundOfTime(tm); got != k {
+			t.Errorf("SearchRoundOfTime(%v) = %d, want %d", tm, got, k)
+		}
+	}
+	for n := 1; n <= 10; n++ {
+		tm := InactiveStart(n+1) - 1
+		if got := UniversalRoundOfTime(tm); got != n {
+			t.Errorf("UniversalRoundOfTime(%v) = %d, want %d", tm, got, n)
+		}
+	}
+}
+
+func TestUniversalPhaseOfTime(t *testing.T) {
+	// Midpoint of the 3rd inactive phase.
+	tm := (InactiveStart(3) + ActiveStart(3)) / 2
+	p := UniversalPhaseOfTime(tm)
+	if p.Round != 3 || p.Active {
+		t.Errorf("phase at %v = %+v, want inactive round 3", tm, p)
+	}
+	relClose(t, "Into", p.Into, SearchAllTime(3))
+	// Just after the 3rd active phase begins.
+	p = UniversalPhaseOfTime(ActiveStart(3) + 5)
+	if p.Round != 3 || !p.Active || math.Abs(p.Into-5) > 1e-9 {
+		t.Errorf("phase = %+v, want active round 3, 5 in", p)
+	}
+}
+
+// TestLemmaNineBracketing verifies the inequality at the heart of Lemma 9:
+// whenever its precondition holds, τ·I(k+1+a) ≤ A(k) ≤ τ·A(k+1+a), i.e. the
+// kth active phase of R starts inside the (k+1+a)th inactive phase of R′,
+// and the overlap amount is positive.
+func TestLemmaNineBracketing(t *testing.T) {
+	checked := 0
+	for a := 0; a <= 3; a++ {
+		for k := 2 * (a + 1); k <= 2*(a+1)+12; k++ {
+			lo := float64(k) / (float64(k+1+a) * math.Ldexp(1, a+1))
+			for _, tau := range []float64{lo, lo * 1.25, lo * 1.5} {
+				if !LemmaNineApplies(k, a, tau) {
+					t.Fatalf("precondition unexpectedly false at k=%d a=%d τ=%v", k, a, tau)
+				}
+				if tau*InactiveStart(k+1+a) > ActiveStart(k)+1e-9 {
+					t.Errorf("k=%d a=%d τ=%v: active phase starts before peer's inactive", k, a, tau)
+				}
+				if ActiveStart(k) > tau*ActiveStart(k+1+a)+1e-9 {
+					t.Errorf("k=%d a=%d τ=%v: active phase starts after peer's inactive ends", k, a, tau)
+				}
+				if OverlapActiveInactive(k, a, tau) <= 0 {
+					t.Errorf("k=%d a=%d τ=%v: non-positive overlap", k, a, tau)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cases checked")
+	}
+}
+
+// TestLemmaTenBracketing does the same for Lemma 10:
+// τ·I(k+a) ≤ I(k) ≤ τ·A(k+a) under its precondition.
+func TestLemmaTenBracketing(t *testing.T) {
+	checked := 0
+	for a := 0; a <= 3; a++ {
+		for k := 2 * (a + 1); k <= 2*(a+1)+12; k++ {
+			lo := 2.0 / 3.0 * float64(k) / (float64(k+a) * math.Ldexp(1, a))
+			hi := float64(k) / (float64(k+1+a) * math.Ldexp(1, a))
+			if lo > hi {
+				continue // window can be empty for small k
+			}
+			for _, tau := range []float64{lo, (lo + hi) / 2, hi} {
+				if !LemmaTenApplies(k, a, tau) {
+					t.Fatalf("precondition unexpectedly false at k=%d a=%d τ=%v", k, a, tau)
+				}
+				if tau*InactiveStart(k+a) > InactiveStart(k)+1e-9 {
+					t.Errorf("k=%d a=%d τ=%v: I(k) before peer's inactive start", k, a, tau)
+				}
+				if InactiveStart(k) > tau*ActiveStart(k+a)+1e-9 {
+					t.Errorf("k=%d a=%d τ=%v: I(k) after peer's inactive end", k, a, tau)
+				}
+				if k > 2*(a+1) && OverlapInactiveActive(k, a, tau) <= 0 {
+					t.Errorf("k=%d a=%d τ=%v: non-positive overlap", k, a, tau)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cases checked")
+	}
+}
+
+// TestOverlapGrowsWithoutBound verifies the key dynamic of Section 4: for a
+// fixed admissible τ the overlap grows monotonically and exceeds any S(n).
+func TestOverlapGrowsWithoutBound(t *testing.T) {
+	tau := 0.5 // a = 0; Lemma 9 window contains 1/2 for every k ≥ 2
+	prev := 0.0
+	for k := 2; k <= 20; k++ {
+		if !LemmaNineApplies(k, 0, tau) {
+			t.Fatalf("τ=1/2 must satisfy Lemma 9 at k=%d", k)
+		}
+		ov := OverlapActiveInactive(k, 0, tau)
+		if ov <= prev {
+			t.Errorf("overlap not increasing at k=%d: %v ≤ %v", k, ov, prev)
+		}
+		prev = ov
+	}
+	// Lemma 11's threshold: overlap at k exceeds S(n) once
+	// 3(a+1)2^k − 4 ≥ (n/2)·2ⁿ; check n = 3 is cleared by k = 8.
+	if OverlapActiveInactive(8, 0, tau) < SearchAllTime(3) {
+		t.Error("overlap at k=8 does not cover S(3)")
+	}
+}
+
+func TestDecomposeTau(t *testing.T) {
+	cases := []struct {
+		tau   float64
+		wantT float64
+		wantA int
+	}{
+		{0.5, 0.5, 1},    // power of two: τ = (1/2)·2⁻¹? No: 0.5 = 0.5·2⁰ — see below.
+		{0.25, 0.5, 1},   // 0.25 = 0.5·2⁻¹
+		{0.75, 0.75, 0},  // 0.75 = 0.75·2⁰
+		{0.6, 0.6, 0},    // 0.6 = 0.6·2⁰
+		{0.3, 0.6, 1},    // 0.3 = 0.6·2⁻¹
+		{0.125, 0.5, 2},  // 0.125 = 0.5·2⁻²
+		{0.0625, 0.5, 3}, // 2⁻⁴ = 0.5·2⁻³
+	}
+	// Fix the first case: 0.5 = 0.5·2⁰ with t = 1/2, a = 0.
+	cases[0] = struct {
+		tau   float64
+		wantT float64
+		wantA int
+	}{0.5, 0.5, 0}
+	for _, tt := range cases {
+		dec, ok := DecomposeTau(tt.tau)
+		if !ok {
+			t.Fatalf("DecomposeTau(%v) not ok", tt.tau)
+		}
+		if math.Abs(dec.T-tt.wantT) > 1e-12 || dec.A != tt.wantA {
+			t.Errorf("DecomposeTau(%v) = {t=%v a=%d}, want {t=%v a=%d}",
+				tt.tau, dec.T, dec.A, tt.wantT, tt.wantA)
+		}
+		relClose(t, "recompose", dec.Tau(), tt.tau)
+	}
+	if _, ok := DecomposeTau(1); ok {
+		t.Error("DecomposeTau(1) accepted")
+	}
+	if _, ok := DecomposeTau(0); ok {
+		t.Error("DecomposeTau(0) accepted")
+	}
+	if _, ok := DecomposeTau(1.5); ok {
+		t.Error("DecomposeTau(1.5) accepted")
+	}
+}
+
+func TestDecomposeTauProperties(t *testing.T) {
+	f := func(raw float64) bool {
+		tau := math.Abs(math.Mod(raw, 1))
+		if tau <= 0 || math.IsNaN(tau) {
+			return true
+		}
+		dec, ok := DecomposeTau(tau)
+		if !ok {
+			return false
+		}
+		return dec.T >= 0.5 && dec.T < 1 && dec.A >= 0 &&
+			math.Abs(dec.Tau()-tau) <= 1e-12*tau
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRendezvousRoundBound(t *testing.T) {
+	// τ = 1/2 (t = 1/2, a = 0), n = 1: k* = max(8, 1+⌈log₂ 1⌉) = 8.
+	k, ok := RendezvousRoundBound(1, 0.5)
+	if !ok || k != 8 {
+		t.Errorf("RendezvousRoundBound(1, 0.5) = (%d, %v), want (8, true)", k, ok)
+	}
+	// Larger n dominates eventually: n = 20, τ = 1/2 → 20 + ⌈log₂ 20⌉ = 25.
+	k, ok = RendezvousRoundBound(20, 0.5)
+	if !ok || k != 25 {
+		t.Errorf("RendezvousRoundBound(20, 0.5) = (%d, %v), want (25, true)", k, ok)
+	}
+	// τ close to 1 inflates the overlap term: t/(1−t) grows.
+	k1, _ := RendezvousRoundBound(1, 0.9)
+	k2, _ := RendezvousRoundBound(1, 0.99)
+	if k2 <= k1 {
+		t.Errorf("k* must grow as τ→1: k(0.9)=%d, k(0.99)=%d", k1, k2)
+	}
+	if _, ok := RendezvousRoundBound(1, 1); ok {
+		t.Error("τ=1 accepted")
+	}
+}
+
+func TestUniversalTimeBound(t *testing.T) {
+	b, ok := UniversalTimeBound(1, 0.25, 0.5)
+	if !ok {
+		t.Fatal("not ok")
+	}
+	// n = 2 (d²/r = 4), k* = 8, bound = I(9).
+	relClose(t, "UniversalTimeBound", b, InactiveStart(9))
+	if _, ok := UniversalTimeBound(1, 0.25, 1); ok {
+		t.Error("τ=1 accepted")
+	}
+}
+
+func TestNormalizeTau(t *testing.T) {
+	if got, ok := NormalizeTau(0.5); !ok || got != 0.5 {
+		t.Errorf("NormalizeTau(0.5) = (%v, %v)", got, ok)
+	}
+	if got, ok := NormalizeTau(2); !ok || got != 0.5 {
+		t.Errorf("NormalizeTau(2) = (%v, %v)", got, ok)
+	}
+	for _, bad := range []float64{0, -1, 1, math.NaN(), math.Inf(1)} {
+		if _, ok := NormalizeTau(bad); ok {
+			t.Errorf("NormalizeTau(%v) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzDecomposeTau(f *testing.F) {
+	for _, seed := range []float64{0.5, 0.25, 0.75, 0.6, 1e-9, 0.999999, 1, 0, -1, 2} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, tau float64) {
+		dec, ok := DecomposeTau(tau)
+		if !ok {
+			if tau > 0 && tau < 1 && !math.IsNaN(tau) {
+				// Subnormal extremes may legitimately fail Frexp's contract;
+				// everything in the normal range must decompose.
+				if tau >= math.SmallestNonzeroFloat64*4 {
+					t.Fatalf("DecomposeTau(%v) rejected a valid τ", tau)
+				}
+			}
+			return
+		}
+		if !(tau > 0 && tau < 1) {
+			t.Fatalf("DecomposeTau accepted out-of-range τ = %v", tau)
+		}
+		if dec.T < 0.5 || dec.T >= 1 {
+			t.Fatalf("t = %v out of [1/2, 1) for τ = %v", dec.T, tau)
+		}
+		if dec.A < 0 {
+			t.Fatalf("a = %d negative for τ = %v", dec.A, tau)
+		}
+		if got := dec.Tau(); math.Abs(got-tau) > 1e-12*tau {
+			t.Fatalf("recompose: %v != %v", got, tau)
+		}
+	})
+}
+
+func FuzzLambertW0(f *testing.F) {
+	for _, seed := range []float64{-1 / math.E, -0.3, 0, 0.5, 1, math.E, 100, 1e10} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x float64) {
+		w := LambertW0(x)
+		switch {
+		case math.IsNaN(x) || x < -1/math.E:
+			if !math.IsNaN(w) {
+				t.Fatalf("W(%v) = %v, want NaN outside the domain", x, w)
+			}
+		case math.IsInf(x, 1):
+			if !math.IsInf(w, 1) {
+				t.Fatalf("W(+Inf) = %v", w)
+			}
+		default:
+			if math.IsNaN(w) {
+				t.Fatalf("W(%v) = NaN inside the domain", x)
+			}
+			// Defining identity within a relative tolerance.
+			got := w * math.Exp(w)
+			scale := math.Max(1, math.Abs(x))
+			if math.Abs(got-x) > 1e-6*scale {
+				t.Fatalf("W(%v)e^W = %v (W = %v)", x, got, w)
+			}
+		}
+	})
+}
+
+func FuzzRendezvousRoundBound(f *testing.F) {
+	f.Add(1, 0.5)
+	f.Add(5, 0.75)
+	f.Add(20, 0.9999)
+	f.Fuzz(func(t *testing.T, n int, tau float64) {
+		if n < 1 || n > 60 {
+			return
+		}
+		k, ok := RendezvousRoundBound(n, tau)
+		if !ok {
+			if tau > 0 && tau < 1 && tau >= math.SmallestNonzeroFloat64*4 {
+				t.Fatalf("rejected valid τ = %v", tau)
+			}
+			return
+		}
+		if k < 1 {
+			t.Fatalf("k* = %d < 1 for n=%d τ=%v", k, n, tau)
+		}
+		if k < n {
+			t.Fatalf("k* = %d < n = %d (the bound cannot precede discovery)", k, n)
+		}
+	})
+}

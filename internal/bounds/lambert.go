@@ -1,0 +1,100 @@
+package bounds
+
+import "math"
+
+// LambertW0 evaluates the principal branch of the Lambert W function — the
+// inverse of w·e^w on [−1/e, ∞) — used by Lemma 12 to solve the overlap
+// inequality [(k−2)(1−γ) − aγ]·2^k ≥ (n/4)·2ⁿ for k. The paper's
+// simplification uses the asymptotics W(x) ≈ ln x − ln ln x [18]; here we
+// compute W to full precision with Halley's iteration.
+func LambertW0(x float64) float64 {
+	const minArg = -1.0 / math.E
+	switch {
+	case math.IsNaN(x) || x < minArg:
+		return math.NaN()
+	case x == minArg:
+		return -1
+	case x == 0:
+		return 0
+	case math.IsInf(x, 1):
+		return math.Inf(1)
+	}
+
+	// Initial guess.
+	var w float64
+	switch {
+	case x < -0.25:
+		// Near the branch point: series in p = sqrt(2(ex+1)).
+		p := math.Sqrt(2 * (math.E*x + 1))
+		w = -1 + p - p*p/3 + 11.0/72.0*p*p*p
+	case x < 0.5:
+		// Series around 0: W ≈ x(1 − x + 3/2·x²).
+		w = x * (1 - x + 1.5*x*x)
+	case x < 2*math.E:
+		// Moderate arguments: ln(1+x) is within ~20% of W here, and the
+		// asymptotic guess below degenerates near x = 1 (ln ln x → −∞).
+		w = math.Log1p(x)
+	default:
+		// Asymptotic: W ≈ ln x − ln ln x.
+		l1 := math.Log(x)
+		l2 := math.Log(l1)
+		w = l1 - l2 + l2/l1
+	}
+
+	// Halley iteration: wᵢ₊₁ = wᵢ − f/(f' − f·f''/(2f')) with f = w·eʷ − x.
+	for range 50 {
+		ew := math.Exp(w)
+		f := w*ew - x
+		if f == 0 {
+			break
+		}
+		wp1 := w + 1
+		denom := ew*wp1 - (w+2)*f/(2*wp1)
+		delta := f / denom
+		w -= delta
+		if math.Abs(delta) <= 1e-15*(1+math.Abs(w)) {
+			break
+		}
+	}
+	return w
+}
+
+// LemmaTwelveRoundBound solves the Lemma 12 inequality exactly via the
+// Lambert W function: given γ = k0/(k0+1+a) it returns the smallest integer
+// k satisfying
+//
+//	k ≥ 2 + aγ/(1−γ) + (1/ln 2)·W[ ln(2)·n/(4(1−γ)) · 2ⁿ · (2^{1/(1−γ)})^{−(a−2)γ−2} ]
+//
+// This is the pre-asymptotic form of the round bound whose simplification is
+// n + ⌈log₂(n/(1−γ))⌉; experiments compare both.
+func LemmaTwelveRoundBound(n, a, k0 int) int {
+	gamma := float64(k0) / float64(k0+1+a)
+	oneMinus := 1 - gamma
+	// Argument of W, assembled in logs to avoid overflow for moderate n.
+	// arg = ln2·n/(4(1−γ)) · 2^n · 2^{-( (a−2)γ + 2 )/(1−γ)}
+	logArg := math.Log(math.Ln2*float64(n)/(4*oneMinus)) +
+		float64(n)*math.Ln2 -
+		((float64(a-2)*gamma + 2) / oneMinus * math.Ln2)
+	w := lambertWOfExp(logArg)
+	k := 2 + float64(a)*gamma/oneMinus + w/math.Ln2
+	return int(math.Ceil(k))
+}
+
+// lambertWOfExp computes W(e^y) stably for large y: solves w + ln w = y.
+func lambertWOfExp(y float64) float64 {
+	if y < 500 {
+		return LambertW0(math.Exp(y))
+	}
+	// Newton on g(w) = w + ln w − y, starting from the asymptote.
+	w := y - math.Log(y)
+	for range 50 {
+		g := w + math.Log(w) - y
+		dg := 1 + 1/w
+		delta := g / dg
+		w -= delta
+		if math.Abs(delta) <= 1e-15*w {
+			break
+		}
+	}
+	return w
+}

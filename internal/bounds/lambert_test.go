@@ -1,0 +1,120 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLambertW0KnownValues(t *testing.T) {
+	tests := []struct{ x, want float64 }{
+		{0, 0},
+		{math.E, 1},
+		{-1 / math.E, -1},
+		{1, 0.5671432904097838}, // Ω constant
+		{2 * math.E * math.E, 2},
+		{10, 1.7455280027406994},
+	}
+	for _, tt := range tests {
+		got := LambertW0(tt.x)
+		// NaN-proof comparison: a NaN result must fail, not slip through.
+		if !(math.Abs(got-tt.want) <= 1e-12*math.Max(1, math.Abs(tt.want))) {
+			t.Errorf("W(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestLambertW0Domain(t *testing.T) {
+	if !math.IsNaN(LambertW0(-1)) {
+		t.Error("W(-1) should be NaN (below branch point)")
+	}
+	if !math.IsInf(LambertW0(math.Inf(1)), 1) {
+		t.Error("W(+Inf) should be +Inf")
+	}
+	if !math.IsNaN(LambertW0(math.NaN())) {
+		t.Error("W(NaN) should be NaN")
+	}
+}
+
+// TestLambertW0Inverse is the defining property: W(x·eˣ) = x for x ≥ −1.
+func TestLambertW0Inverse(t *testing.T) {
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 20) - 1 // x ∈ [−1, 19)
+		if math.IsNaN(x) {
+			return true
+		}
+		arg := x * math.Exp(x)
+		got := LambertW0(arg)
+		return math.Abs(got-x) <= 1e-9*math.Max(1, math.Abs(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLambertW0ForwardIdentity checks W(y)·e^{W(y)} = y across magnitudes.
+func TestLambertW0ForwardIdentity(t *testing.T) {
+	for _, y := range []float64{-0.36, -0.1, 0.01, 0.5, 3, 50, 1e3, 1e8, 1e15} {
+		w := LambertW0(y)
+		if got := w * math.Exp(w); math.Abs(got-y) > 1e-9*math.Max(1, math.Abs(y)) {
+			t.Errorf("W(%v)e^W = %v, want %v", y, got, y)
+		}
+	}
+}
+
+// TestLambertAsymptotics validates the approximation the paper cites from
+// [18]: W(x) ≈ ln x − ln ln x for large x (within ln ln x / ln x relative).
+func TestLambertAsymptotics(t *testing.T) {
+	for _, x := range []float64{1e3, 1e6, 1e12} {
+		w := LambertW0(x)
+		approx := math.Log(x) - math.Log(math.Log(x))
+		if math.Abs(w-approx) > math.Log(math.Log(x)) {
+			t.Errorf("x=%v: W=%v vs asymptote %v differ too much", x, w, approx)
+		}
+		if w >= math.Log(x) {
+			t.Errorf("x=%v: W(x) = %v must be < ln x = %v", x, w, math.Log(x))
+		}
+	}
+}
+
+func TestLambertWOfExpLargeArguments(t *testing.T) {
+	// w + ln w = y must hold for huge y where e^y overflows.
+	for _, y := range []float64{600, 1e4, 1e8} {
+		w := lambertWOfExp(y)
+		if got := w + math.Log(w); math.Abs(got-y) > 1e-9*y {
+			t.Errorf("y=%v: w+ln w = %v", y, got)
+		}
+	}
+}
+
+// TestLemmaTwelveRoundBound checks the exact W-based bound against the
+// paper's simplification k* ≤ n + ⌈log₂(n/(1−γ))⌉ and against the defining
+// inequality [(k−2)(1−γ) − aγ]·2^k ≥ (n/4)·2ⁿ.
+func TestLemmaTwelveRoundBound(t *testing.T) {
+	for _, c := range []struct{ n, a, k0 int }{
+		{1, 0, 2}, {3, 0, 4}, {5, 1, 6}, {8, 0, 8}, {10, 2, 8},
+	} {
+		k := LemmaTwelveRoundBound(c.n, c.a, c.k0)
+		gamma := float64(c.k0) / float64(c.k0+1+c.a)
+
+		lhs := (float64(k-2)*(1-gamma) - float64(c.a)*gamma) * math.Ldexp(1, k)
+		rhs := float64(c.n) / 4 * math.Ldexp(1, c.n)
+		if lhs < rhs*(1-1e-9) {
+			t.Errorf("n=%d a=%d k0=%d: k*=%d does not satisfy the overlap inequality (%v < %v)",
+				c.n, c.a, c.k0, k, lhs, rhs)
+		}
+		// And k*−1 must not satisfy it by a wide margin (tightness within
+		// one round, since we ceil a real solution).
+		lhsPrev := (float64(k-3)*(1-gamma) - float64(c.a)*gamma) * math.Ldexp(1, k-1)
+		if lhsPrev >= rhs*2.5 {
+			t.Errorf("n=%d a=%d k0=%d: k*=%d looks loose (k−1 already gives %v ≥ %v)",
+				c.n, c.a, c.k0, k, lhsPrev, rhs)
+		}
+		// Paper's simplified bound dominates (it is an upper bound on k*).
+		simplified := c.n + int(math.Ceil(math.Log2(float64(c.n)/(1-gamma)))) + 2
+		if k > max(simplified, 2+int(math.Ceil(float64(c.a)*gamma/(1-gamma)))+simplified) {
+			t.Errorf("n=%d a=%d k0=%d: exact k*=%d exceeds simplified bound %d",
+				c.n, c.a, c.k0, k, simplified)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Runner is one experiment: it produces a table or fails.
+type Runner struct {
+	ID  string
+	Run func() (Table, error)
+}
+
+// All returns every experiment in presentation order: E1-E9 reproduce the
+// paper's quantitative claims; A1-A3 are ablations of our design choices.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1SearchScaling},
+		{"E2", E2Durations},
+		{"E3", E3SameChirality},
+		{"E4", E4OppositeChirality},
+		{"E5", E5PhaseSchedule},
+		{"E6", E6Overlap},
+		{"E7", E7UniversalRounds},
+		{"E8", E8Feasibility},
+		{"E9", E9Baselines},
+		{"E10", E10Gathering},
+		{"E11", E11LineVsPlane},
+		{"E12", E12Coverage},
+		{"E13", E13CompetitiveRatio},
+		{"E14", E14FaultInjection},
+		{"E15", E15PriceOfSymmetry},
+		{"E16", E16VariableSpeed},
+		{"A1", A1FixedStepDetector},
+		{"A2", A2NoFinalWait},
+		{"A3", A3NoReversePass},
+	}
+}
+
+// RunAll executes every experiment and renders it to w in the requested
+// format ("text" or "markdown"). It stops at the first failure: a failing
+// experiment means a paper claim did not reproduce.
+func RunAll(w io.Writer, markdown bool) error {
+	for _, r := range All() {
+		table, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", r.ID, err)
+		}
+		if markdown {
+			if err := table.Markdown(w); err != nil {
+				return err
+			}
+		} else if err := table.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunOne executes a single experiment by ID.
+func RunOne(id string, w io.Writer, markdown bool) error {
+	for _, r := range All() {
+		if r.ID != id {
+			continue
+		}
+		table, err := r.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", r.ID, err)
+		}
+		if markdown {
+			return table.Markdown(w)
+		}
+		return table.Render(w)
+	}
+	return fmt.Errorf("experiments: unknown id %q", id)
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/algo"
+	"repro/internal/feasibility"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// AdversarialDisplacement picks the initial displacement an adversary would
+// choose for the given attributes: feasibility means rendezvous for *every*
+// d, so infeasible instances must be probed where they actually fail. For
+// τ = 1 the relative trajectory is T∘·S(t) − d (Definition 1); when T∘ is
+// singular its range is a line, and a unit d perpendicular to that line is
+// never approached. For non-singular instances any d works.
+func AdversarialDisplacement(a frame.Attributes, scale float64) geom.Vec {
+	tc := geom.EquivalentSearchMatrix(a.V, a.Phi, int(a.Chi))
+	if math.Abs(tc.Det()) > 1e-9 {
+		return geom.V(scale, 0)
+	}
+	// Range of T∘ is spanned by its larger column; d ⟂ range.
+	c1 := geom.V(tc.A, tc.C)
+	c2 := geom.V(tc.B, tc.D)
+	span := c1
+	if c2.Norm() > c1.Norm() {
+		span = c2
+	}
+	if span.Norm() == 0 {
+		return geom.V(scale, 0) // T∘ = 0: relative position constant, any d
+	}
+	return span.Perp().Unit().Scale(scale)
+}
+
+// E8Feasibility reproduces Theorem 4: a grid over (v, τ, φ, χ) where the
+// simulated outcome (rendezvous within a horizon, against an adversarial
+// displacement) matches the theorem's characterisation exactly.
+func E8Feasibility() (Table, error) {
+	t := Table{
+		ID:      "E8",
+		Title:   "feasibility grid under Algorithm 7 (universal)",
+		Source:  "Theorem 4",
+		Columns: []string{"v", "τ", "φ", "χ", "predicted", "simulated", "agree"},
+	}
+	const r = 0.25
+	const horizon = 1e5
+	for _, v := range []float64{0.5, 1} {
+		for _, tau := range []float64{0.5, 1} {
+			for _, phi := range []float64{0, 2.0} {
+				for _, chi := range []frame.Chirality{frame.CCW, frame.CW} {
+					a := frame.Attributes{V: v, Tau: tau, Phi: phi, Chi: chi}
+					verdict := feasibility.Classify(a)
+					in := sim.Instance{Attrs: a, D: AdversarialDisplacement(a, 1), R: r}
+					res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+					if err != nil {
+						return t, fmt.Errorf("E8 %v: %w", a, err)
+					}
+					agree := res.Met == verdict.Feasible
+					t.AddRow(v, tau, phi, chi.String(),
+						feasLabel(verdict.Feasible), metLabel(res), boolMark(agree))
+					if !agree {
+						return t, fmt.Errorf("E8 %v: prediction %v but simulation met=%v",
+							a, verdict.Feasible, res.Met)
+					}
+				}
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		"infeasible cells use an adversarial displacement (feasibility quantifies over all d)",
+		"horizon-bounded non-meeting certifies nothing in general; here every infeasible cell",
+		"is also analytically symmetric (T∘ singular or zero), so the gap can never close")
+	return t, nil
+}
+
+func feasLabel(f bool) string {
+	if f {
+		return "feasible"
+	}
+	return "infeasible"
+}
+
+func metLabel(res sim.Result) string {
+	if res.Met {
+		return fmt.Sprintf("met t=%.4g", res.Time)
+	}
+	return "no meeting"
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

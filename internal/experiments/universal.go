@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+// E7UniversalRounds reproduces Lemmas 11-13 / Theorem 3: the round of
+// Algorithm 7 in which the robots actually rendezvous, for a sweep of clock
+// ratios, never exceeds the predicted k*.
+func E7UniversalRounds() (Table, error) {
+	t := Table{
+		ID:     "E7",
+		Title:  "rendezvous round of Algorithm 7 vs. the Lemma 13 prediction",
+		Source: "Lemmas 11-13, Theorem 3",
+		Columns: []string{"τ", "t", "a", "n (search round)", "T_measured",
+			"round measured", "k* bound"},
+	}
+	const d = 1.0
+	// Two visibility radii: r = 1/4 gives n = 2 (meetings in round 1-2);
+	// r = 1/64 gives n = 6 (the robots need several rounds of annuli fine
+	// enough to see each other, so the measured round grows).
+	for _, r := range []float64{0.25, 1.0 / 64} {
+		n := bounds.GuaranteedSearchRound(d, r)
+		for _, tau := range []float64{0.5, 0.375, 0.6, 0.7, 0.75, 2.0} {
+			norm, ok := bounds.NormalizeTau(tau)
+			if !ok {
+				return t, fmt.Errorf("E7: bad τ %v", tau)
+			}
+			dec, _ := bounds.DecomposeTau(norm)
+			kStar, _ := bounds.RendezvousRoundBound(n, norm)
+			horizon := bounds.InactiveStart(kStar + 2)
+
+			in := sim.Instance{
+				Attrs: frame.Attributes{V: 1, Tau: tau, Phi: 0, Chi: frame.CCW},
+				D:     geom.V(d, 0),
+				R:     r,
+			}
+			res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+			if err != nil {
+				return t, fmt.Errorf("E7 τ=%v: %w", tau, err)
+			}
+			if !res.Met {
+				return t, fmt.Errorf("E7 τ=%v: no rendezvous before I(k*+2)=%v", tau, horizon)
+			}
+			// Attribute the meeting to the round of the slower-clocked
+			// robot (the paper's reference robot R has the unit clock; when
+			// τ > 1 the roles swap, so normalise by the faster schedule).
+			scale := 1.0
+			if tau > 1 {
+				scale = 1 / tau
+			}
+			round := bounds.UniversalRoundOfTime(res.Time * scale)
+			if round > kStar {
+				return t, fmt.Errorf("E7 τ=%v: met in round %d > k* = %d", tau, round, kStar)
+			}
+			t.AddRow(fmt.Sprintf("%g", tau)+" (r="+fmt.Sprintf("%g", r)+")",
+				dec.T, dec.A, n, res.Time, round, kStar)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"measured round ≤ k* everywhere; k* is a worst-case envelope and is typically loose:",
+		"at laptop scale the robots' simultaneous active phases cross paths long before the",
+		"engineered active/inactive overlap of Lemmas 9-10 is needed — the lemmas guarantee",
+		"the worst case, the typical case is much faster",
+		"τ=2 is normalised to 1/2 per the paper's WLOG (swap the robots)")
+	return t, nil
+}

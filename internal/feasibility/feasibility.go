@@ -1,0 +1,127 @@
+// Package feasibility implements the feasibility characterisation of
+// Theorem 4: deterministic symmetric rendezvous of two robots with unknown
+// attributes is possible if and only if at least one symmetry-breaking
+// difference exists — different clock units, different speeds, or different
+// orientations with equal chiralities.
+//
+// Attributes are expressed relative to the reference robot R (Section 1.1),
+// so "different speeds" means v ≠ 1, "different clocks" τ ≠ 1, and
+// "different orientations with equal chiralities" χ = +1 with 0 < φ < 2π.
+package feasibility
+
+import (
+	"strings"
+
+	"repro/internal/frame"
+)
+
+// Reason identifies one symmetry-breaking difference between the robots.
+type Reason int
+
+// The three symmetry breakers of Theorem 4.
+const (
+	DifferentClocks Reason = iota + 1
+	DifferentSpeeds
+	DifferentOrientations // equal chiralities required
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case DifferentClocks:
+		return "different clock units (τ ≠ 1)"
+	case DifferentSpeeds:
+		return "different speeds (v ≠ 1)"
+	case DifferentOrientations:
+		return "different orientations with equal chiralities (χ = +1, 0 < φ < 2π)"
+	default:
+		return "unknown reason"
+	}
+}
+
+// Verdict is the outcome of classifying an instance.
+type Verdict struct {
+	// Feasible reports whether rendezvous is achievable in finite time for
+	// every initial displacement d and visibility r > 0.
+	Feasible bool
+	// Reasons lists every symmetry breaker present (empty when infeasible).
+	Reasons []Reason
+}
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	if !v.Feasible {
+		return "infeasible: the robots are perfectly symmetric"
+	}
+	parts := make([]string, len(v.Reasons))
+	for i, r := range v.Reasons {
+		parts[i] = r.String()
+	}
+	return "feasible: " + strings.Join(parts, "; ")
+}
+
+// Classify applies Theorem 4 to the attributes of R′ (relative to the
+// reference robot R): rendezvous is feasible iff τ ≠ 1, or v ≠ 1, or the
+// robots have equal chiralities but different orientations.
+func Classify(a frame.Attributes) Verdict {
+	var v Verdict
+	if a.Tau != 1 {
+		v.Reasons = append(v.Reasons, DifferentClocks)
+	}
+	if a.V != 1 {
+		v.Reasons = append(v.Reasons, DifferentSpeeds)
+	}
+	if a.Chi == frame.CCW && a.NormPhi() != 0 {
+		v.Reasons = append(v.Reasons, DifferentOrientations)
+	}
+	v.Feasible = len(v.Reasons) > 0
+	return v
+}
+
+// Feasible is shorthand for Classify(a).Feasible.
+func Feasible(a frame.Attributes) bool { return Classify(a).Feasible }
+
+// RecommendedAlgorithm names the paper's algorithm for the instance:
+// Algorithm 7 (Universal) always suffices when rendezvous is feasible
+// (Theorem 4); Algorithm 4 (CumulativeSearch) suffices — and carries the
+// sharper Theorem 2 bound — when the clocks are symmetric.
+type Algorithm int
+
+// Algorithm choices.
+const (
+	// AlgorithmNone means rendezvous is infeasible.
+	AlgorithmNone Algorithm = iota
+	// AlgorithmCumulativeSearch is Algorithm 4 (needs τ = 1).
+	AlgorithmCumulativeSearch
+	// AlgorithmUniversal is Algorithm 7 (works in every feasible case).
+	AlgorithmUniversal
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmNone:
+		return "none (infeasible)"
+	case AlgorithmCumulativeSearch:
+		return "Algorithm 4 (cumulative search)"
+	case AlgorithmUniversal:
+		return "Algorithm 7 (universal)"
+	default:
+		return "unknown algorithm"
+	}
+}
+
+// Recommend picks the paper's algorithm for the given attributes. Since the
+// robots do not know their attributes, a real deployment always runs
+// AlgorithmUniversal; Recommend exists for analysis and experiments, where
+// the instance is known.
+func Recommend(a frame.Attributes) Algorithm {
+	v := Classify(a)
+	if !v.Feasible {
+		return AlgorithmNone
+	}
+	if a.Tau == 1 {
+		return AlgorithmCumulativeSearch
+	}
+	return AlgorithmUniversal
+}

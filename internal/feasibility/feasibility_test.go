@@ -1,0 +1,106 @@
+package feasibility
+
+import (
+	"math"
+	"slices"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func attrs(v, tau, phi float64, chi frame.Chirality) frame.Attributes {
+	return frame.Attributes{V: v, Tau: tau, Phi: phi, Chi: chi}
+}
+
+func TestClassifyTheoremFour(t *testing.T) {
+	tests := []struct {
+		name     string
+		a        frame.Attributes
+		feasible bool
+		reasons  []Reason
+	}{
+		{"identical", attrs(1, 1, 0, frame.CCW), false, nil},
+		{"identical-2pi", attrs(1, 1, 2*math.Pi, frame.CCW), false, nil},
+		{"mirror-only", attrs(1, 1, 0, frame.CW), false, nil},
+		{"mirror-rotated", attrs(1, 1, 1.3, frame.CW), false, nil},
+		{"different-speed", attrs(0.5, 1, 0, frame.CCW), true, []Reason{DifferentSpeeds}},
+		{"different-clock", attrs(1, 0.5, 0, frame.CCW), true, []Reason{DifferentClocks}},
+		{"different-orientation", attrs(1, 1, math.Pi/3, frame.CCW), true, []Reason{DifferentOrientations}},
+		{"speed-and-mirror", attrs(0.7, 1, 0, frame.CW), true, []Reason{DifferentSpeeds}},
+		{"clock-and-mirror", attrs(1, 2, 0.4, frame.CW), true, []Reason{DifferentClocks}},
+		{"everything", attrs(0.5, 2, 1, frame.CCW), true,
+			[]Reason{DifferentClocks, DifferentSpeeds, DifferentOrientations}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v := Classify(tt.a)
+			if v.Feasible != tt.feasible {
+				t.Errorf("Feasible = %v, want %v", v.Feasible, tt.feasible)
+			}
+			if !slices.Equal(v.Reasons, tt.reasons) {
+				t.Errorf("Reasons = %v, want %v", v.Reasons, tt.reasons)
+			}
+			if Feasible(tt.a) != tt.feasible {
+				t.Error("Feasible shorthand disagrees with Classify")
+			}
+		})
+	}
+}
+
+// TestOrientationOnlyWithOppositeChirality pins the subtle part of
+// Theorem 4: a pure orientation difference does NOT break symmetry when the
+// chiralities also differ.
+func TestOrientationOnlyWithOppositeChirality(t *testing.T) {
+	for _, phi := range []float64{0.1, math.Pi / 2, math.Pi, 5.0} {
+		a := attrs(1, 1, phi, frame.CW)
+		if Feasible(a) {
+			t.Errorf("φ=%v with χ=−1, v=τ=1 must be infeasible", phi)
+		}
+	}
+	for _, phi := range []float64{0.1, math.Pi / 2, math.Pi, 5.0} {
+		a := attrs(1, 1, phi, frame.CCW)
+		if !Feasible(a) {
+			t.Errorf("φ=%v with χ=+1, v=τ=1 must be feasible", phi)
+		}
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	tests := []struct {
+		name string
+		a    frame.Attributes
+		want Algorithm
+	}{
+		{"infeasible", attrs(1, 1, 0, frame.CCW), AlgorithmNone},
+		{"speed-only", attrs(0.5, 1, 0, frame.CCW), AlgorithmCumulativeSearch},
+		{"orientation-only", attrs(1, 1, 1, frame.CCW), AlgorithmCumulativeSearch},
+		{"clock", attrs(1, 0.5, 0, frame.CCW), AlgorithmUniversal},
+		{"clock-and-speed", attrs(0.5, 0.5, 0, frame.CCW), AlgorithmUniversal},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Recommend(tt.a); got != tt.want {
+				t.Errorf("Recommend = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Classify(attrs(1, 1, 0, frame.CCW)).String() == "" {
+		t.Error("empty infeasible string")
+	}
+	if Classify(attrs(0.5, 2, 1, frame.CCW)).String() == "" {
+		t.Error("empty feasible string")
+	}
+	for _, r := range []Reason{DifferentClocks, DifferentSpeeds, DifferentOrientations, Reason(99)} {
+		if r.String() == "" {
+			t.Errorf("empty string for reason %d", int(r))
+		}
+	}
+	for _, a := range []Algorithm{AlgorithmNone, AlgorithmCumulativeSearch, AlgorithmUniversal, Algorithm(99)} {
+		if a.String() == "" {
+			t.Errorf("empty string for algorithm %d", int(a))
+		}
+	}
+}

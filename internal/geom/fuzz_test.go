@@ -1,0 +1,65 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzQRDecompose checks the Givens QR on arbitrary matrices: Q orthogonal
+// with det +1, R upper triangular with non-negative leading entry, Q·R = M.
+func FuzzQRDecompose(f *testing.F) {
+	f.Add(1.0, 0.0, 0.0, 1.0)
+	f.Add(0.3, -0.7, 0.7, 0.3)
+	f.Add(0.0, 1.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		for _, x := range []float64{a, b, c, d} {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return
+			}
+		}
+		m := Mat{A: a, B: b, C: c, D: d}
+		qr, ok := QRDecompose(m)
+		if !ok {
+			if a != 0 || c != 0 {
+				t.Fatalf("rejected matrix with non-zero first column: %v", m)
+			}
+			return
+		}
+		if !qr.Q.IsOrthogonal(1e-9) {
+			t.Fatalf("Q not orthogonal: %v", qr.Q)
+		}
+		if det := qr.Q.Det(); math.Abs(det-1) > 1e-9 {
+			t.Fatalf("det Q = %v", det)
+		}
+		if qr.R.C != 0 {
+			t.Fatalf("R not upper triangular: %v", qr.R)
+		}
+		if qr.R.A < 0 {
+			t.Fatalf("R.A = %v negative", qr.R.A)
+		}
+		scale := math.Max(1, m.OperatorNorm())
+		if !qr.Q.Mul(qr.R).ApproxEqual(m, 1e-6*scale) {
+			t.Fatalf("Q·R = %v != M = %v", qr.Q.Mul(qr.R), m)
+		}
+	})
+}
+
+// FuzzMuFrameConsistency checks μ against the operator norm of the χ=+1
+// equivalent-search matrix (which is μ·I up to rotation, so ‖T∘‖ = μ).
+func FuzzMuFrameConsistency(f *testing.F) {
+	f.Add(0.5, 0.7)
+	f.Add(1.0, 0.0)
+	f.Add(2.0, 3.14)
+	f.Fuzz(func(t *testing.T, v, phi float64) {
+		if math.IsNaN(v) || math.IsInf(v, 0) || math.IsNaN(phi) || math.IsInf(phi, 0) {
+			return
+		}
+		v = math.Abs(math.Mod(v, 10))
+		phi = math.Mod(phi, 2*math.Pi)
+		mu := Mu(v, phi)
+		norm := EquivalentSearchMatrix(v, phi, +1).OperatorNorm()
+		if math.Abs(mu-norm) > 1e-6*math.Max(1, mu) {
+			t.Fatalf("μ = %v but ‖T∘‖ = %v (v=%v φ=%v)", mu, norm, v, phi)
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a 2x2 matrix
+//
+//	[ A  B ]
+//	[ C  D ]
+//
+// acting on column vectors.
+type Mat struct {
+	A, B float64
+	C, D float64
+}
+
+// Identity is the 2x2 identity matrix.
+var Identity = Mat{A: 1, D: 1}
+
+// Rotation returns the counter-clockwise rotation by angle (radians).
+func Rotation(angle float64) Mat {
+	s, c := math.Sincos(angle)
+	return Mat{A: c, B: -s, C: s, D: c}
+}
+
+// ReflectionY returns Diag(1, -1), the reflection about the x-axis. The paper
+// uses it to model opposite chirality (χ = -1): the robots disagree on the +y
+// direction, so R′ executes a mirror image of the common trajectory.
+func ReflectionY() Mat { return Mat{A: 1, D: -1} }
+
+// Diag returns the diagonal matrix Diag(a, d).
+func Diag(a, d float64) Mat { return Mat{A: a, D: d} }
+
+// Scalar returns s·I.
+func Scalar(s float64) Mat { return Mat{A: s, D: s} }
+
+// Apply returns M·v.
+func (m Mat) Apply(v Vec) Vec {
+	return Vec{m.A*v.X + m.B*v.Y, m.C*v.X + m.D*v.Y}
+}
+
+// Mul returns the matrix product M·N.
+func (m Mat) Mul(n Mat) Mat {
+	return Mat{
+		A: m.A*n.A + m.B*n.C,
+		B: m.A*n.B + m.B*n.D,
+		C: m.C*n.A + m.D*n.C,
+		D: m.C*n.B + m.D*n.D,
+	}
+}
+
+// Scale returns s·M.
+func (m Mat) Scale(s float64) Mat {
+	return Mat{A: s * m.A, B: s * m.B, C: s * m.C, D: s * m.D}
+}
+
+// Add returns M + N.
+func (m Mat) Add(n Mat) Mat {
+	return Mat{A: m.A + n.A, B: m.B + n.B, C: m.C + n.C, D: m.D + n.D}
+}
+
+// Sub returns M - N.
+func (m Mat) Sub(n Mat) Mat {
+	return Mat{A: m.A - n.A, B: m.B - n.B, C: m.C - n.C, D: m.D - n.D}
+}
+
+// Transpose returns Mᵀ.
+func (m Mat) Transpose() Mat { return Mat{A: m.A, B: m.C, C: m.B, D: m.D} }
+
+// Det returns the determinant of M.
+func (m Mat) Det() float64 { return m.A*m.D - m.B*m.C }
+
+// Trace returns the trace of M.
+func (m Mat) Trace() float64 { return m.A + m.D }
+
+// Inverse returns M⁻¹ and whether it exists (det != 0).
+func (m Mat) Inverse() (Mat, bool) {
+	det := m.Det()
+	if det == 0 {
+		return Mat{}, false
+	}
+	inv := 1 / det
+	return Mat{A: m.D * inv, B: -m.B * inv, C: -m.C * inv, D: m.A * inv}, true
+}
+
+// OperatorNorm returns the spectral norm ‖M‖₂ = largest singular value: the
+// maximum factor by which M can stretch a vector. The motion detector uses it
+// to bound the speed of frame-transformed trajectories.
+func (m Mat) OperatorNorm() float64 {
+	// Singular values of a 2x2 matrix from the Frobenius norm and the
+	// determinant: s1² + s2² = ‖M‖F², s1·s2 = |det M|.
+	f2 := m.A*m.A + m.B*m.B + m.C*m.C + m.D*m.D
+	det := math.Abs(m.Det())
+	// s1² = (f2 + sqrt(f2² - 4 det²)) / 2
+	disc := f2*f2 - 4*det*det
+	if disc < 0 {
+		disc = 0 // round-off; matrix is a similarity
+	}
+	return math.Sqrt((f2 + math.Sqrt(disc)) / 2)
+}
+
+// IsOrthogonal reports whether MᵀM = I to within tol.
+func (m Mat) IsOrthogonal(tol float64) bool {
+	p := m.Transpose().Mul(m)
+	return math.Abs(p.A-1) <= tol && math.Abs(p.D-1) <= tol &&
+		math.Abs(p.B) <= tol && math.Abs(p.C) <= tol
+}
+
+// ApproxEqual reports whether m and n agree entrywise to within tol.
+func (m Mat) ApproxEqual(n Mat, tol float64) bool {
+	return math.Abs(m.A-n.A) <= tol && math.Abs(m.B-n.B) <= tol &&
+		math.Abs(m.C-n.C) <= tol && math.Abs(m.D-n.D) <= tol
+}
+
+// String implements fmt.Stringer.
+func (m Mat) String() string {
+	return fmt.Sprintf("[%g %g; %g %g]", m.A, m.B, m.C, m.D)
+}
+
+// Affine is the affine map x ↦ M·x + T.
+type Affine struct {
+	M Mat
+	T Vec
+}
+
+// IdentityAffine is the identity affine map.
+var IdentityAffine = Affine{M: Identity}
+
+// Apply returns M·x + T.
+func (a Affine) Apply(v Vec) Vec { return a.M.Apply(v).Add(a.T) }
+
+// Compose returns the affine map equivalent to applying b first, then a.
+func (a Affine) Compose(b Affine) Affine {
+	return Affine{M: a.M.Mul(b.M), T: a.M.Apply(b.T).Add(a.T)}
+}

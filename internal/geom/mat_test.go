@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRotation(t *testing.T) {
+	tests := []struct {
+		angle float64
+		in    Vec
+		want  Vec
+	}{
+		{0, V(1, 0), V(1, 0)},
+		{math.Pi / 2, V(1, 0), V(0, 1)},
+		{math.Pi, V(1, 0), V(-1, 0)},
+		{math.Pi / 2, V(0, 1), V(-1, 0)},
+		{math.Pi / 4, V(1, 0), V(math.Sqrt2/2, math.Sqrt2/2)},
+	}
+	for _, tt := range tests {
+		if got := Rotation(tt.angle).Apply(tt.in); !got.ApproxEqual(tt.want, 1e-12) {
+			t.Errorf("Rotation(%v)·%v = %v, want %v", tt.angle, tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestReflectionY(t *testing.T) {
+	r := ReflectionY()
+	if got := r.Apply(V(2, 3)); got != V(2, -3) {
+		t.Errorf("ReflectionY·(2,3) = %v, want (2,-3)", got)
+	}
+	if got := r.Det(); got != -1 {
+		t.Errorf("det ReflectionY = %v, want -1", got)
+	}
+}
+
+func TestMatAlgebra(t *testing.T) {
+	m := Mat{A: 1, B: 2, C: 3, D: 4}
+	n := Mat{A: 5, B: 6, C: 7, D: 8}
+
+	if got, want := m.Mul(n), (Mat{A: 19, B: 22, C: 43, D: 50}); got != want {
+		t.Errorf("Mul = %v, want %v", got, want)
+	}
+	if got, want := m.Transpose(), (Mat{A: 1, B: 3, C: 2, D: 4}); got != want {
+		t.Errorf("Transpose = %v, want %v", got, want)
+	}
+	if got := m.Det(); got != -2 {
+		t.Errorf("Det = %v, want -2", got)
+	}
+	if got := m.Trace(); got != 5 {
+		t.Errorf("Trace = %v, want 5", got)
+	}
+	if got, want := m.Add(n), (Mat{A: 6, B: 8, C: 10, D: 12}); got != want {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := n.Sub(m), (Mat{A: 4, B: 4, C: 4, D: 4}); got != want {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	if got, want := m.Scale(2), (Mat{A: 2, B: 4, C: 6, D: 8}); got != want {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	m := Mat{A: 1, B: 2, C: 3, D: 4}
+	inv, ok := m.Inverse()
+	if !ok {
+		t.Fatal("invertible matrix reported singular")
+	}
+	if got := m.Mul(inv); !got.ApproxEqual(Identity, 1e-12) {
+		t.Errorf("M·M⁻¹ = %v, want I", got)
+	}
+	if _, ok := Diag(0, 0).Inverse(); ok {
+		t.Error("singular matrix reported invertible")
+	}
+}
+
+func TestOperatorNorm(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Mat
+		want float64
+	}{
+		{"identity", Identity, 1},
+		{"scalar", Scalar(3), 3},
+		{"rotation", Rotation(1.3), 1},
+		{"diag", Diag(2, 5), 5},
+		{"rank1", Mat{A: 3, B: 0, C: 4, D: 0}, 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.m.OperatorNorm(); math.Abs(got-tt.want) > 1e-9 {
+				t.Errorf("OperatorNorm = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAffine(t *testing.T) {
+	a := Affine{M: Rotation(math.Pi / 2), T: V(1, 0)}
+	if got := a.Apply(V(1, 0)); !got.ApproxEqual(V(1, 1), 1e-12) {
+		t.Errorf("Apply = %v, want (1,1)", got)
+	}
+	b := Affine{M: Scalar(2), T: V(0, 3)}
+	// Compose: a(b(x)) must equal a.Compose(b).Apply(x).
+	x := V(0.7, -1.3)
+	want := a.Apply(b.Apply(x))
+	if got := a.Compose(b).Apply(x); !got.ApproxEqual(want, 1e-12) {
+		t.Errorf("Compose.Apply = %v, want %v", got, want)
+	}
+	if got := IdentityAffine.Apply(x); got != x {
+		t.Errorf("IdentityAffine.Apply = %v, want %v", got, x)
+	}
+}
+
+func TestMatProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+
+	clampAngle := func(a float64) float64 {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return 0.5
+		}
+		return math.Mod(a, 2*math.Pi)
+	}
+
+	t.Run("rotation-preserves-norm", func(t *testing.T) {
+		f := func(angle float64, v Vec) bool {
+			angle, v = clampAngle(angle), clampVec(v)
+			got := Rotation(angle).Apply(v).Norm()
+			return math.Abs(got-v.Norm()) <= 1e-6*math.Max(1, v.Norm())
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("rotation-composition", func(t *testing.T) {
+		f := func(a, b float64) bool {
+			a, b = clampAngle(a), clampAngle(b)
+			return Rotation(a).Mul(Rotation(b)).ApproxEqual(Rotation(a+b), 1e-9)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("rotation-orthogonal", func(t *testing.T) {
+		f := func(a float64) bool {
+			return Rotation(clampAngle(a)).IsOrthogonal(1e-9)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("det-multiplicative", func(t *testing.T) {
+		f := func(m, n Mat) bool {
+			m, n = clampMat(m), clampMat(n)
+			got := m.Mul(n).Det()
+			want := m.Det() * n.Det()
+			scale := math.Max(1, math.Abs(want))
+			return math.Abs(got-want) <= 1e-6*scale
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("operator-norm-bounds-apply", func(t *testing.T) {
+		f := func(m Mat, v Vec) bool {
+			m, v = clampMat(m), clampVec(v)
+			return m.Apply(v).Norm() <= m.OperatorNorm()*v.Norm()*(1+1e-9)+1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func clampMat(m Mat) Mat {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, 1e3)
+	}
+	return Mat{A: c(m.A), B: c(m.B), C: c(m.C), D: c(m.D)}
+}

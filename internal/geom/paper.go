@@ -1,0 +1,106 @@
+package geom
+
+import "math"
+
+// This file implements the reference-frame matrices of Czyzowicz et al.
+// (PODC 2019), Section 3.
+//
+// The robot R is the reference robot: unit speed, unit clock, correct
+// compass. The robot R′ has speed v, orientation φ, and chirality χ = ±1.
+// When both robots run the same trajectory algorithm S(t), Lemma 4 shows
+// that R′ follows
+//
+//	S′(t) = v·Rot(φ)·Diag(1, χ)·S(t) + d
+//
+// and the *equivalent search trajectory* S∘(t) = S(t) − S′(t) satisfies
+// S∘(t) = T∘·S(t) with
+//
+//	T∘ = [ 1 − v·cosφ      v·χ·sinφ     ]
+//	     [ −v·sinφ         1 − v·χ·cosφ ]
+//
+// Lemma 5 factors T∘ = Φ·T∘′ with Φ a rotation and T∘′ upper triangular.
+
+// FrameMatrix returns the matrix v·Rot(φ)·Diag(1, χ) of Lemma 4: the linear
+// part of the map taking the common trajectory (in R's frame) to the
+// trajectory actually followed by R′, for robots with equal time units.
+// chi must be +1 or -1.
+func FrameMatrix(v, phi float64, chi int) Mat {
+	return Rotation(phi).Mul(Diag(1, float64(chi))).Scale(v)
+}
+
+// EquivalentSearchMatrix returns T∘ = I − FrameMatrix(v, φ, χ): the matrix
+// whose action on the rendezvous trajectory yields the induced equivalent
+// search trajectory (Definition 1 before rotation).
+func EquivalentSearchMatrix(v, phi float64, chi int) Mat {
+	return Identity.Sub(FrameMatrix(v, phi, chi))
+}
+
+// Mu returns μ = sqrt(v² − 2v·cosφ + 1), the scaling factor of the
+// equivalent search trajectory for equal chiralities (Theorem 2). μ is the
+// distance between the unit vector and the vector of length v at angle φ;
+// μ = 0 exactly when v = 1 and φ = 0 (identical frames, rendezvous
+// infeasible for τ = 1).
+func Mu(v, phi float64) float64 {
+	m2 := v*v - 2*v*math.Cos(phi) + 1
+	if m2 < 0 {
+		m2 = 0 // guard against round-off for v≈1, φ≈0
+	}
+	return math.Sqrt(m2)
+}
+
+// QRFactors holds the factorisation T∘ = Q·R of Lemma 5, with Q a rotation
+// (orthogonal, det +1) and R upper triangular.
+type QRFactors struct {
+	Q Mat // rotation Φ
+	R Mat // upper-triangular T∘′
+}
+
+// LemmaFiveQR returns the explicit QR factorisation of T∘ given in Lemma 5:
+//
+//	Q = (1/μ)·[ 1−v·cosφ   v·sinφ  ;  −v·sinφ   1−v·cosφ ]
+//	R = [ μ   −(1−χ)·v·sinφ/μ  ;  0   (χv² − (1+χ)v·cosφ + 1)/μ ]
+//
+// with μ = Mu(v, φ). It reports ok = false when μ = 0 (v = 1 and φ = 0),
+// where the factorisation degenerates because T∘'s first column vanishes.
+func LemmaFiveQR(v, phi float64, chi int) (QRFactors, bool) {
+	mu := Mu(v, phi)
+	if mu == 0 {
+		return QRFactors{}, false
+	}
+	sin, cos := math.Sincos(phi)
+	q := Mat{
+		A: (1 - v*cos) / mu, B: v * sin / mu,
+		C: -v * sin / mu, D: (1 - v*cos) / mu,
+	}
+	x := float64(chi)
+	r := Mat{
+		A: mu, B: -(1 - x) * v * sin / mu,
+		C: 0, D: (x*v*v - (1+x)*v*cos + 1) / mu,
+	}
+	return QRFactors{Q: q, R: r}, true
+}
+
+// QRDecompose computes a general QR factorisation M = Q·R with Q a rotation
+// (Givens) and R upper triangular with non-negative R.A. It reports ok =
+// false when the first column of M is zero.
+func QRDecompose(m Mat) (QRFactors, bool) {
+	c0 := Vec{m.A, m.C} // first column
+	n := c0.Norm()
+	if n == 0 {
+		return QRFactors{}, false
+	}
+	cos, sin := m.A/n, m.C/n
+	// Q rotates e1 onto c0/|c0|; Qᵀ·M is upper triangular.
+	q := Mat{A: cos, B: -sin, C: sin, D: cos}
+	r := q.Transpose().Mul(m)
+	r.C = 0 // exact by construction; clear round-off
+	return QRFactors{Q: q, R: r}, true
+}
+
+// OppositeChiralityColumnNorm returns |T∘′ᵀ·d̂| for χ = −1 and d̂ = (0, 1),
+// where T∘′ is the upper-triangular factor of Definition 1. This is the
+// quantity analysed in Lemma 7; it equals (1 − v²)/μ. The rendezvous time
+// bound replaces d and r by d/|T∘′ᵀd̂| and r/|T∘′ᵀd̂|.
+func OppositeChiralityColumnNorm(v, phi float64) float64 {
+	return (1 - v*v) / Mu(v, phi)
+}

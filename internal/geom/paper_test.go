@@ -1,0 +1,229 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMu(t *testing.T) {
+	tests := []struct {
+		name   string
+		v, phi float64
+		want   float64
+	}{
+		{"identical-frames", 1, 0, 0},
+		{"opposite-orientation", 1, math.Pi, 2},
+		{"right-angle", 1, math.Pi / 2, math.Sqrt2},
+		{"stationary-peer", 0, 0.7, 1},
+		{"half-speed-aligned", 0.5, 0, 0.5},
+		{"half-speed-opposed", 0.5, math.Pi, 1.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mu(tt.v, tt.phi); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Mu(%v, %v) = %v, want %v", tt.v, tt.phi, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestMuIsDistance checks the geometric meaning of μ: the distance between
+// the tip of the unit vector e1 and the tip of v·(cosφ, sinφ).
+func TestMuIsDistance(t *testing.T) {
+	f := func(v, phi float64) bool {
+		v = math.Abs(math.Mod(v, 4))
+		phi = math.Mod(phi, 2*math.Pi)
+		if math.IsNaN(v) || math.IsNaN(phi) {
+			return true
+		}
+		want := V(1, 0).Sub(Polar(v, phi)).Norm()
+		return math.Abs(Mu(v, phi)-want) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameMatrix(t *testing.T) {
+	// Same chirality: pure scaled rotation.
+	m := FrameMatrix(2, math.Pi/2, +1)
+	if got := m.Apply(V(1, 0)); !got.ApproxEqual(V(0, 2), 1e-12) {
+		t.Errorf("FrameMatrix(2, π/2, +1)·e1 = %v, want (0,2)", got)
+	}
+	if got := m.Det(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("det = %v, want 4 (v²)", got)
+	}
+	// Opposite chirality: determinant is -v².
+	m = FrameMatrix(0.5, 0.3, -1)
+	if got := m.Det(); math.Abs(got+0.25) > 1e-12 {
+		t.Errorf("det = %v, want -0.25 (-v²)", got)
+	}
+}
+
+// TestFrameMatrixMatchesLemmaFour checks the explicit entries given in
+// Lemma 4: [v cosφ, −vχ sinφ; v sinφ, vχ cosφ].
+func TestFrameMatrixMatchesLemmaFour(t *testing.T) {
+	f := func(v, phi float64, chiBit bool) bool {
+		v = math.Abs(math.Mod(v, 3))
+		phi = math.Mod(phi, 2*math.Pi)
+		if math.IsNaN(v) || math.IsNaN(phi) {
+			return true
+		}
+		chi := 1
+		if chiBit {
+			chi = -1
+		}
+		sin, cos := math.Sincos(phi)
+		x := float64(chi)
+		want := Mat{A: v * cos, B: -v * x * sin, C: v * sin, D: v * x * cos}
+		return FrameMatrix(v, phi, chi).ApproxEqual(want, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquivalentSearchMatrixSameChirality(t *testing.T) {
+	// Lemma 6: for χ = +1 the rotated T∘ is μ·I; equivalently
+	// |T∘·u| = μ·|u| for every u.
+	f := func(v, phi float64, u Vec) bool {
+		v = math.Abs(math.Mod(v, 3))
+		phi = math.Mod(phi, 2*math.Pi)
+		u = clampVec(u)
+		if math.IsNaN(v) || math.IsNaN(phi) {
+			return true
+		}
+		got := EquivalentSearchMatrix(v, phi, +1).Apply(u).Norm()
+		want := Mu(v, phi) * u.Norm()
+		return math.Abs(got-want) <= 1e-6*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLemmaFiveQR(t *testing.T) {
+	cases := []struct {
+		v, phi float64
+		chi    int
+	}{
+		{0.5, 0.7, +1},
+		{0.5, 0.7, -1},
+		{0.9, math.Pi / 3, +1},
+		{0.9, math.Pi / 3, -1},
+		{1.0, math.Pi, -1},
+		{2.0, 5.1, +1},
+		{0.25, 0.01, -1},
+	}
+	for _, c := range cases {
+		qr, ok := LemmaFiveQR(c.v, c.phi, c.chi)
+		if !ok {
+			t.Fatalf("LemmaFiveQR(%v,%v,%v) degenerate", c.v, c.phi, c.chi)
+		}
+		if !qr.Q.IsOrthogonal(1e-9) {
+			t.Errorf("Q not orthogonal for %+v: %v", c, qr.Q)
+		}
+		if d := qr.Q.Det(); math.Abs(d-1) > 1e-9 {
+			t.Errorf("det Q = %v, want 1 for %+v", d, c)
+		}
+		if math.Abs(qr.R.C) > 1e-12 {
+			t.Errorf("R not upper triangular for %+v: %v", c, qr.R)
+		}
+		want := EquivalentSearchMatrix(c.v, c.phi, c.chi)
+		if got := qr.Q.Mul(qr.R); !got.ApproxEqual(want, 1e-9) {
+			t.Errorf("Q·R = %v, want T∘ = %v for %+v", got, want, c)
+		}
+	}
+}
+
+func TestLemmaFiveQRDegenerate(t *testing.T) {
+	if _, ok := LemmaFiveQR(1, 0, +1); ok {
+		t.Error("expected degenerate factorisation at v=1, φ=0")
+	}
+}
+
+// TestLemmaFiveSpecialForms verifies the specialisations used in the proofs:
+// χ=+1 gives R = μ·I (Lemma 6); χ=−1 gives R = [μ, −2v sinφ/μ; 0, (1−v²)/μ]
+// (Lemma 7).
+func TestLemmaFiveSpecialForms(t *testing.T) {
+	v, phi := 0.6, 1.1
+	mu := Mu(v, phi)
+
+	qr, ok := LemmaFiveQR(v, phi, +1)
+	if !ok {
+		t.Fatal("unexpected degenerate")
+	}
+	if !qr.R.ApproxEqual(Scalar(mu), 1e-12) {
+		t.Errorf("χ=+1: R = %v, want μI = %v", qr.R, Scalar(mu))
+	}
+
+	qr, ok = LemmaFiveQR(v, phi, -1)
+	if !ok {
+		t.Fatal("unexpected degenerate")
+	}
+	want := Mat{A: mu, B: -2 * v * math.Sin(phi) / mu, D: (1 - v*v) / mu}
+	if !qr.R.ApproxEqual(want, 1e-12) {
+		t.Errorf("χ=−1: R = %v, want %v", qr.R, want)
+	}
+}
+
+func TestQRDecompose(t *testing.T) {
+	f := func(m Mat) bool {
+		m = clampMat(m)
+		qr, ok := QRDecompose(m)
+		if !ok {
+			return m.A == 0 && m.C == 0
+		}
+		scale := math.Max(1, m.OperatorNorm())
+		return qr.Q.IsOrthogonal(1e-9) &&
+			math.Abs(qr.R.C) <= 1e-9*scale &&
+			qr.R.A >= -1e-12 &&
+			qr.Q.Mul(qr.R).ApproxEqual(m, 1e-6*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQRDecomposeAgreesWithLemmaFive cross-validates the general Givens QR
+// against the paper's explicit factorisation.
+func TestQRDecomposeAgreesWithLemmaFive(t *testing.T) {
+	for _, chi := range []int{+1, -1} {
+		for _, v := range []float64{0.3, 0.8, 1.5} {
+			for _, phi := range []float64{0.4, 2.0, 4.5} {
+				m := EquivalentSearchMatrix(v, phi, chi)
+				general, ok1 := QRDecompose(m)
+				explicit, ok2 := LemmaFiveQR(v, phi, chi)
+				if !ok1 || !ok2 {
+					t.Fatalf("unexpected degenerate at v=%v φ=%v χ=%d", v, phi, chi)
+				}
+				// Both factorisations have rotation Q and R.A = μ > 0, so they
+				// must agree exactly (QR with positive diagonal is unique).
+				if !general.R.ApproxEqual(explicit.R, 1e-9) {
+					t.Errorf("v=%v φ=%v χ=%d: general R = %v, Lemma 5 R = %v",
+						v, phi, chi, general.R, explicit.R)
+				}
+			}
+		}
+	}
+}
+
+func TestOppositeChiralityColumnNorm(t *testing.T) {
+	// Check against direct computation |T∘′ᵀ·(0,1)| for χ = −1, where T∘′ is
+	// the upper-triangular factor of Definition 1 (the matrix the Lemma 7
+	// analysis actually uses).
+	for _, v := range []float64{0.2, 0.5, 0.9} {
+		for _, phi := range []float64{0.3, 1.5, 3.0, 5.5} {
+			qr, ok := LemmaFiveQR(v, phi, -1)
+			if !ok {
+				t.Fatalf("degenerate at v=%v φ=%v", v, phi)
+			}
+			want := qr.R.Transpose().Apply(V(0, 1)).Norm()
+			got := OppositeChiralityColumnNorm(v, phi)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("v=%v φ=%v: got %v, want %v", v, phi, got, want)
+			}
+		}
+	}
+}

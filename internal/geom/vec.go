@@ -1,0 +1,93 @@
+// Package geom provides the exact two-dimensional geometry used throughout
+// the rendezvous library: vectors, 2x2 matrices, rotations, reflections, and
+// the reference-frame matrices of Czyzowicz et al. (PODC 2019), including the
+// equivalent-search matrix T∘ and its QR factorisation (Lemma 5 of the
+// paper).
+//
+// All types are small value types; none of the operations allocate.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a point or displacement in the Euclidean plane.
+type Vec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// V is shorthand for Vec{x, y}.
+func V(x, y float64) Vec { return Vec{X: x, Y: y} }
+
+// Zero is the origin.
+var Zero = Vec{}
+
+// Add returns v + w.
+func (v Vec) Add(w Vec) Vec { return Vec{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w.
+func (v Vec) Sub(w Vec) Vec { return Vec{v.X - w.X, v.Y - w.Y} }
+
+// Scale returns s·v.
+func (v Vec) Scale(s float64) Vec { return Vec{s * v.X, s * v.Y} }
+
+// Neg returns -v.
+func (v Vec) Neg() Vec { return Vec{-v.X, -v.Y} }
+
+// Dot returns the inner product v·w.
+func (v Vec) Dot(w Vec) float64 { return v.X*w.X + v.Y*w.Y }
+
+// Cross returns the scalar cross product v × w (the z-component of the
+// three-dimensional cross product).
+func (v Vec) Cross(w Vec) float64 { return v.X*w.Y - v.Y*w.X }
+
+// Norm returns the Euclidean length |v|.
+func (v Vec) Norm() float64 { return math.Hypot(v.X, v.Y) }
+
+// Norm2 returns |v|², avoiding the square root.
+func (v Vec) Norm2() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns |v - w|.
+func (v Vec) Dist(w Vec) float64 { return v.Sub(w).Norm() }
+
+// Unit returns v/|v|. It returns the zero vector when |v| == 0.
+func (v Vec) Unit() Vec {
+	n := v.Norm()
+	if n == 0 {
+		return Vec{}
+	}
+	return Vec{v.X / n, v.Y / n}
+}
+
+// Perp returns v rotated by +90° (counter-clockwise).
+func (v Vec) Perp() Vec { return Vec{-v.Y, v.X} }
+
+// Angle returns the polar angle of v in [-π, π].
+func (v Vec) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp returns the linear interpolation (1-t)·v + t·w.
+func (v Vec) Lerp(w Vec, t float64) Vec {
+	return Vec{v.X + t*(w.X-v.X), v.Y + t*(w.Y-v.Y)}
+}
+
+// Polar returns the vector with the given radius and polar angle.
+func Polar(radius, angle float64) Vec {
+	s, c := math.Sincos(angle)
+	return Vec{radius * c, radius * s}
+}
+
+// ApproxEqual reports whether v and w agree to within tol in each coordinate.
+func (v Vec) ApproxEqual(w Vec, tol float64) bool {
+	return math.Abs(v.X-w.X) <= tol && math.Abs(v.Y-w.Y) <= tol
+}
+
+// IsFinite reports whether both coordinates are finite (not NaN or ±Inf).
+func (v Vec) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0)
+}
+
+// String implements fmt.Stringer.
+func (v Vec) String() string { return fmt.Sprintf("(%g, %g)", v.X, v.Y) }

@@ -1,0 +1,165 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestVecBasicOps(t *testing.T) {
+	tests := []struct {
+		name string
+		got  Vec
+		want Vec
+	}{
+		{"add", V(1, 2).Add(V(3, -4)), V(4, -2)},
+		{"sub", V(1, 2).Sub(V(3, -4)), V(-2, 6)},
+		{"scale", V(1, -2).Scale(3), V(3, -6)},
+		{"neg", V(1, -2).Neg(), V(-1, 2)},
+		{"perp", V(1, 0).Perp(), V(0, 1)},
+		{"perp-y", V(0, 1).Perp(), V(-1, 0)},
+		{"unit", V(3, 4).Unit(), V(0.6, 0.8)},
+		{"unit-zero", Zero.Unit(), Zero},
+		{"lerp-mid", V(0, 0).Lerp(V(2, 4), 0.5), V(1, 2)},
+		{"lerp-start", V(1, 1).Lerp(V(2, 4), 0), V(1, 1)},
+		{"lerp-end", V(1, 1).Lerp(V(2, 4), 1), V(2, 4)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if !tt.got.ApproxEqual(tt.want, tol) {
+				t.Errorf("got %v, want %v", tt.got, tt.want)
+			}
+		})
+	}
+}
+
+func TestVecScalars(t *testing.T) {
+	if got := V(3, 4).Norm(); math.Abs(got-5) > tol {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := V(3, 4).Norm2(); math.Abs(got-25) > tol {
+		t.Errorf("Norm2 = %v, want 25", got)
+	}
+	if got := V(1, 2).Dot(V(3, 4)); math.Abs(got-11) > tol {
+		t.Errorf("Dot = %v, want 11", got)
+	}
+	if got := V(1, 0).Cross(V(0, 1)); math.Abs(got-1) > tol {
+		t.Errorf("Cross = %v, want 1", got)
+	}
+	if got := V(1, 1).Dist(V(4, 5)); math.Abs(got-5) > tol {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+	if got := V(0, 2).Angle(); math.Abs(got-math.Pi/2) > tol {
+		t.Errorf("Angle = %v, want π/2", got)
+	}
+}
+
+func TestPolar(t *testing.T) {
+	tests := []struct {
+		radius, angle float64
+		want          Vec
+	}{
+		{1, 0, V(1, 0)},
+		{2, math.Pi / 2, V(0, 2)},
+		{1, math.Pi, V(-1, 0)},
+		{3, -math.Pi / 2, V(0, -3)},
+	}
+	for _, tt := range tests {
+		if got := Polar(tt.radius, tt.angle); !got.ApproxEqual(tt.want, 1e-9) {
+			t.Errorf("Polar(%v, %v) = %v, want %v", tt.radius, tt.angle, got, tt.want)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if V(math.NaN(), 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if V(0, math.Inf(1)).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+// clampVec maps arbitrary quick-generated vectors into a sane range so that
+// property checks are not dominated by overflow.
+func clampVec(v Vec) Vec {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, 1e6)
+	}
+	return Vec{c(v.X), c(v.Y)}
+}
+
+func TestVecProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+
+	t.Run("add-commutative", func(t *testing.T) {
+		f := func(a, b Vec) bool {
+			a, b = clampVec(a), clampVec(b)
+			return a.Add(b) == b.Add(a)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("sub-add-inverse", func(t *testing.T) {
+		f := func(a, b Vec) bool {
+			a, b = clampVec(a), clampVec(b)
+			return a.Add(b).Sub(b).ApproxEqual(a, 1e-6)
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("perp-orthogonal", func(t *testing.T) {
+		f := func(a Vec) bool {
+			a = clampVec(a)
+			return math.Abs(a.Dot(a.Perp())) <= 1e-6*math.Max(1, a.Norm2())
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("triangle-inequality", func(t *testing.T) {
+		f := func(a, b Vec) bool {
+			a, b = clampVec(a), clampVec(b)
+			return a.Add(b).Norm() <= a.Norm()+b.Norm()+1e-6
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("unit-has-norm-one", func(t *testing.T) {
+		f := func(a Vec) bool {
+			a = clampVec(a)
+			if a.Norm() < 1e-9 {
+				return true
+			}
+			return math.Abs(a.Unit().Norm()-1) <= 1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+	t.Run("polar-roundtrip", func(t *testing.T) {
+		f := func(r, a float64) bool {
+			r = math.Abs(math.Mod(r, 1e3))
+			a = math.Mod(a, math.Pi) // stay inside principal range
+			if math.IsNaN(r) || math.IsNaN(a) || r < 1e-9 {
+				return true
+			}
+			p := Polar(r, a)
+			return math.Abs(p.Norm()-r) <= 1e-9*r && math.Abs(p.Angle()-a) <= 1e-9
+		}
+		if err := quick.Check(f, cfg); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package motion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// sane clamps fuzz inputs into a numerically reasonable range.
+func sane(x, lim float64) (float64, bool) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0, false
+	}
+	return math.Mod(x, lim), true
+}
+
+// FuzzLinearLinear cross-validates the closed-form linear-linear detector
+// against the brute-force reference on random configurations.
+func FuzzLinearLinear(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 0.0, 10.0, 0.25, -1.0, 0.0, 0.5)
+	f.Add(-3.0, 2.0, 0.7, -0.4, 4.0, -1.0, -0.5, 0.3, 0.8)
+	f.Fuzz(func(t *testing.T, ax, ay, avx, avy, bx, by, bvx, bvy, r float64) {
+		vals := []*float64{&ax, &ay, &avx, &avy, &bx, &by, &bvx, &bvy}
+		for _, p := range vals {
+			v, ok := sane(*p, 20)
+			if !ok {
+				return
+			}
+			*p = v
+		}
+		rr, ok := sane(r, 3)
+		if !ok || math.Abs(rr) < 1e-3 {
+			return
+		}
+		rr = math.Abs(rr)
+
+		a := Linear{P0: geom.V(ax, ay), Vel: geom.V(avx, avy)}
+		b := Linear{P0: geom.V(bx, by), Vel: geom.V(bvx, bvy)}
+		const t1 = 30.0
+		got, found, err := FirstContact(a, b, rr, 0, t1, DefaultOptions(rr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantFound := referenceFirstContact(a, b, rr, 0, t1, 300000)
+		if found != wantFound {
+			// The reference's finite grid can miss grazing contacts the
+			// closed form resolves; only a closed-form *miss* against a
+			// reference *hit* is a bug.
+			if !found && wantFound {
+				t.Fatalf("closed form missed a contact the reference found at %v", want)
+			}
+			return
+		}
+		if found && math.Abs(got-want) > 2e-3*(1+want) {
+			t.Fatalf("contact at %v, reference %v", got, want)
+		}
+	})
+}
+
+// FuzzCircularStatic cross-validates the arc-vs-static closed form.
+func FuzzCircularStatic(f *testing.F) {
+	f.Add(0.0, 0.0, 2.0, 0.3, 0.7, 3.0, 1.0, 0.6)
+	f.Add(1.0, -1.0, 1.5, 2.0, -1.3, -1.4, -1.0, 0.4)
+	f.Fuzz(func(t *testing.T, cx, cy, radius, theta0, omega, px, py, r float64) {
+		vals := []*float64{&cx, &cy, &theta0, &px, &py}
+		for _, p := range vals {
+			v, ok := sane(*p, 10)
+			if !ok {
+				return
+			}
+			*p = v
+		}
+		rad, ok := sane(radius, 5)
+		if !ok {
+			return
+		}
+		rad = math.Abs(rad)
+		om, ok := sane(omega, 4)
+		if !ok || math.Abs(om) < 1e-3 {
+			return
+		}
+		rr, ok := sane(r, 3)
+		if !ok || math.Abs(rr) < 1e-3 {
+			return
+		}
+		rr = math.Abs(rr)
+
+		c := Circular{Center: geom.V(cx, cy), Radius: rad, Theta0: theta0, Omega: om}
+		p := Static(geom.V(px, py))
+		const t1 = 40.0
+		got, found, err := FirstContact(c, p, rr, 0, t1, DefaultOptions(rr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantFound := referenceFirstContact(c, p, rr, 0, t1, 400000)
+		if found != wantFound {
+			if !found && wantFound {
+				t.Fatalf("closed form missed a contact the reference found at %v", want)
+			}
+			return
+		}
+		if found && math.Abs(got-want) > 2e-3*(1+want) {
+			t.Fatalf("contact at %v, reference %v", got, want)
+		}
+	})
+}

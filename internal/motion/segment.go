@@ -1,0 +1,56 @@
+package motion
+
+import (
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+// FromSegment converts a trajectory segment starting at absolute time
+// absStart into the most specific Motion the detector can exploit:
+//
+//   - waits and lines (including affinely transformed ones) → Linear,
+//   - arcs under similarity maps → Circular,
+//   - everything else → Func with the segment's speed bound.
+func FromSegment(seg segment.Segment, absStart float64) Motion {
+	if lin, ok := linearOf(seg, absStart); ok {
+		return lin
+	}
+	if g, ok := segment.ArcAt(seg); ok {
+		return Circular{
+			T0:     absStart,
+			Center: g.Center,
+			Radius: g.Radius,
+			Theta0: g.StartAngle,
+			Omega:  g.Omega,
+		}
+	}
+	return Func{
+		F:     func(t float64) geom.Vec { return seg.Position(t - absStart) },
+		Bound: seg.MaxSpeed(),
+	}
+}
+
+// linearOf recognises segments whose global motion is exactly linear in
+// time: waits, lines, and affine transforms of either (an affine map of
+// uniform linear motion is uniform linear motion).
+func linearOf(seg segment.Segment, absStart float64) (Linear, bool) {
+	switch s := seg.(type) {
+	case segment.Wait:
+		return Static(s.At), true
+	case segment.Line:
+		return linearFromEndpoints(s.Start(), s.End(), s.Duration(), absStart), true
+	case *segment.Transformed:
+		switch s.Inner.(type) {
+		case segment.Wait, segment.Line:
+			return linearFromEndpoints(s.Start(), s.End(), s.Duration(), absStart), true
+		}
+	}
+	return Linear{}, false
+}
+
+func linearFromEndpoints(start, end geom.Vec, dur, absStart float64) Linear {
+	if dur == 0 || start == end {
+		return Linear{T0: absStart, P0: start}
+	}
+	return Linear{T0: absStart, P0: start, Vel: end.Sub(start).Scale(1 / dur)}
+}

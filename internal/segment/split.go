@@ -1,0 +1,48 @@
+package segment
+
+// Prefix returns the exact prefix of seg lasting duration d (clamped to the
+// segment's duration). The prefix of a Line is a shorter Line, of an Arc a
+// shorter Arc, of a Wait a shorter Wait; a Transformed segment wraps the
+// prefix of its inner segment. Prefixes are used for fault injection
+// (cutting a trajectory at a crash time) and for exact truncation.
+func Prefix(seg Segment, d float64) Segment {
+	if d < 0 {
+		d = 0
+	}
+	total := seg.Duration()
+	if d >= total {
+		return seg
+	}
+	switch s := seg.(type) {
+	case Wait:
+		return Wait{At: s.At, Time: d}
+	case Line:
+		if total == 0 {
+			return s
+		}
+		return Line{From: s.From, To: s.Position(d), Speed: s.Speed}
+	case Arc:
+		if total == 0 {
+			return s
+		}
+		return Arc{
+			Center:     s.Center,
+			Radius:     s.Radius,
+			StartAngle: s.StartAngle,
+			Sweep:      s.Sweep * (d / total),
+			Speed:      s.Speed,
+		}
+	case *Transformed:
+		return NewTransformed(Prefix(s.Inner, d/s.TimeScale), s.Map, s.TimeScale)
+	default:
+		// Unknown segment kind: approximate with a straight line to the
+		// cut position at the average speed (exact for our primitives,
+		// which never reach this branch).
+		end := seg.Position(d)
+		start := seg.Start()
+		if start == end || d == 0 {
+			return Wait{At: end, Time: d}
+		}
+		return Line{From: start, To: end, Speed: start.Dist(end) / d}
+	}
+}

@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/bounds"
+	"repro/internal/feasibility"
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// Randomised instance properties. A fixed seed keeps the suite
+// deterministic; the instances still cover a broad swathe of the attribute
+// space beyond the hand-picked grids.
+
+func TestRandomFeasibleSymmetricClockInstancesMeet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := range 25 {
+		// Symmetric clocks; draw attributes until feasible and not too
+		// close to the infeasibility frontier (μ or 1−v tiny ⇒ huge time).
+		var a frame.Attributes
+		for {
+			a = frame.Attributes{
+				V:   0.3 + 0.6*rng.Float64(), // [0.3, 0.9]
+				Tau: 1,
+				Phi: 2 * math.Pi * rng.Float64(),
+				Chi: frame.Chirality(1 - 2*rng.Intn(2)),
+			}
+			if feasibility.Feasible(a) {
+				break
+			}
+		}
+		d := geom.Polar(0.5+1.5*rng.Float64(), 2*math.Pi*rng.Float64())
+		in := Instance{Attrs: a, D: d, R: 0.2 + 0.2*rng.Float64()}
+
+		var bound float64
+		if a.Chi == frame.CCW {
+			bound = bounds.RendezvousBoundSameChirality(d.Norm(), in.R, a.V, a.Phi)
+		} else {
+			bound = bounds.RendezvousBoundOppositeChirality(d.Norm(), in.R, a.V)
+		}
+		horizon := 2*bound + 2000
+		res, err := Rendezvous(algo.CumulativeSearch(), in, Options{Horizon: horizon})
+		if err != nil {
+			t.Fatalf("case %d (%v): %v", i, a, err)
+		}
+		if !res.Met {
+			t.Fatalf("case %d: feasible instance %v d=%v r=%v never met (gap %v)",
+				i, a, d, in.R, res.Gap)
+		}
+		if bound > 0 && res.Time > bound {
+			t.Errorf("case %d: time %v exceeds Theorem 2 bound %v (%v)", i, res.Time, bound, a)
+		}
+	}
+}
+
+func TestRandomAsymmetricClockInstancesMeet(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := range 10 {
+		a := frame.Attributes{
+			V:   1,
+			Tau: 0.4 + 0.35*rng.Float64(), // [0.4, 0.75]
+			Phi: 0,
+			Chi: frame.CCW,
+		}
+		d := geom.Polar(0.5+rng.Float64(), 2*math.Pi*rng.Float64())
+		in := Instance{Attrs: a, D: d, R: 0.25}
+		res, err := Rendezvous(algo.Universal(), in, Options{Horizon: 2e5})
+		if err != nil {
+			t.Fatalf("case %d (%v): %v", i, a, err)
+		}
+		if !res.Met {
+			t.Fatalf("case %d: τ=%v instance never met (gap %v)", i, a.Tau, res.Gap)
+		}
+	}
+}
+
+func TestRandomInfeasibleInstancesNeverMeet(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := range 10 {
+		// The infeasible set: v=1, τ=1, and (χ=+1 ∧ φ=0) or χ=−1 (any φ).
+		var a frame.Attributes
+		if rng.Intn(2) == 0 {
+			a = frame.Attributes{V: 1, Tau: 1, Phi: 0, Chi: frame.CCW}
+		} else {
+			a = frame.Attributes{V: 1, Tau: 1, Phi: 2 * math.Pi * rng.Float64(), Chi: frame.CW}
+		}
+		if feasibility.Feasible(a) {
+			t.Fatalf("case %d: %v should be infeasible", i, a)
+		}
+		// Adversarial displacement: off the (possibly singular) range of T∘.
+		tc := geom.EquivalentSearchMatrix(a.V, a.Phi, int(a.Chi))
+		d := geom.V(1, 0)
+		if math.Abs(tc.Det()) < 1e-9 {
+			span := geom.V(tc.A, tc.C)
+			if alt := geom.V(tc.B, tc.D); alt.Norm() > span.Norm() {
+				span = alt
+			}
+			if span.Norm() > 0 {
+				d = span.Perp().Unit()
+			}
+		}
+		in := Instance{Attrs: a, D: d, R: 0.2}
+		for _, prog := range []struct {
+			name string
+			src  func() (Result, error)
+		}{
+			{"alg4", func() (Result, error) {
+				return Rendezvous(algo.CumulativeSearch(), in, Options{Horizon: 3e3})
+			}},
+			{"alg7", func() (Result, error) {
+				return Rendezvous(algo.Universal(), in, Options{Horizon: 3e3})
+			}},
+		} {
+			res, err := prog.src()
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, prog.name, err)
+			}
+			if res.Met {
+				t.Errorf("case %d %s: infeasible %v met at %v (d=%v)", i, prog.name, a, res.Time, d)
+			}
+		}
+	}
+}
+
+// TestRendezvousRotationInvariance: rotating both the displacement and the
+// peer's orientation offset... is NOT an invariance (the algorithm's x-axis
+// is global). What IS invariant: scaling the whole instance (d, r) by s > 0
+// scales the meeting time by exactly s only for scale-free strategies;
+// Algorithm 4's schedule is anchored at radius 2^(−k), so instead we test
+// the exact invariance the model does have — relabelling the robots. The
+// meeting time must be symmetric under swapping R and R′ when expressed in
+// the other robot's units.
+func TestRendezvousRobotSwapSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := range 8 {
+		a := frame.Attributes{
+			V:   0.4 + 0.4*rng.Float64(),
+			Tau: 1,
+			Phi: 2 * math.Pi * rng.Float64(),
+			Chi: frame.CCW,
+		}
+		d := geom.Polar(1, 2*math.Pi*rng.Float64())
+		r := 0.25
+		direct, err := Rendezvous(algo.CumulativeSearch(), Instance{Attrs: a, D: d, R: r},
+			Options{Horizon: 1e5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Swap: R′ becomes the reference. Relative attributes invert; the
+		// displacement maps into R′'s units and axes; r likewise.
+		du := a.DistanceUnit()
+		swapped := frame.Attributes{V: 1 / a.V, Tau: 1 / a.Tau, Phi: -a.Phi, Chi: a.Chi}
+		dSwapped := geom.Rotation(-a.Phi).Apply(d.Neg()).Scale(1 / du)
+		swap, err := Rendezvous(algo.CumulativeSearch(),
+			Instance{Attrs: swapped, D: dSwapped, R: r / du},
+			Options{Horizon: 1e5 / a.Tau})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Met != swap.Met {
+			t.Fatalf("case %d: met mismatch %v vs %v", i, direct.Met, swap.Met)
+		}
+		if direct.Met {
+			// Times are measured in each reference's clock; converting the
+			// swapped time back to global units must agree.
+			if math.Abs(direct.Time-swap.Time*a.Tau) > 1e-6*math.Max(1, direct.Time) {
+				t.Errorf("case %d: time %v vs swapped %v", i, direct.Time, swap.Time*a.Tau)
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+// Package sim runs exact continuous-time simulations of the paper's two
+// problems: search (one robot, one static target) and rendezvous (two robots
+// executing the same algorithm in different reference frames).
+//
+// The simulator walks the two trajectories' merged segment timeline. Within
+// an interval where both robots stay on single segments, first contact is
+// resolved by internal/motion — in closed form where possible, otherwise by
+// conservative safe advancement. Durations are exact, so measured meeting
+// times are directly comparable with the paper's closed-form analysis.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/trajectory"
+)
+
+// Options control a simulation run.
+type Options struct {
+	// Horizon is the global time at which the simulation gives up. It must
+	// be positive: infeasible rendezvous instances never meet, and the
+	// robots have no way to detect that (Section 1 of the paper), so the
+	// caller must bound the run.
+	Horizon float64
+	// Slack is the contact-detection slack passed to the motion package;
+	// contact is declared at distance ≤ r (+Slack on the conservative
+	// path). Zero selects 1e-9·r.
+	Slack float64
+	// MaxIters bounds conservative detection work per segment interval.
+	// Zero selects a generous default.
+	MaxIters int
+}
+
+// ErrBadOptions is returned for a non-positive horizon or radius.
+var ErrBadOptions = errors.New("sim: horizon and radius must be positive")
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	// Met is true when contact occurred before the horizon.
+	Met bool
+	// Time is the first contact time (global). Only valid when Met.
+	Time float64
+	// WhereA and WhereB are the robots' positions at the contact time (for
+	// search, B is the target). Only valid when Met.
+	WhereA, WhereB geom.Vec
+	// Gap is the distance between the robots at Time (≤ r + slack) when
+	// Met; otherwise the distance at the horizon.
+	Gap float64
+	// DistanceA and DistanceB are the path lengths travelled by each robot
+	// up to Time (when Met) or up to the horizon — the energy cost of the
+	// strategy.
+	DistanceA, DistanceB float64
+	// Intervals is the number of segment-pair intervals processed.
+	Intervals int
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	if !r.Met {
+		return fmt.Sprintf("no contact (gap %.6g at horizon, %d intervals)", r.Gap, r.Intervals)
+	}
+	return fmt.Sprintf("contact at t=%.6g (gap %.3g, %d intervals)", r.Time, r.Gap, r.Intervals)
+}
+
+// FirstMeeting simulates two global-frame trajectories from time 0 and
+// returns the first time their distance is at most r. Sources may be finite
+// (the mover halts at its final position) or infinite.
+func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error) {
+	if opt.Horizon <= 0 || r <= 0 {
+		return Result{}, ErrBadOptions
+	}
+	mopt := motion.Options{Slack: opt.Slack, MaxIters: opt.MaxIters}
+	if mopt.Slack <= 0 {
+		mopt.Slack = 1e-9 * r
+	}
+	if mopt.MaxIters <= 0 {
+		mopt.MaxIters = motion.DefaultOptions(r).MaxIters
+	}
+
+	wa := trajectory.NewWalker(a)
+	defer wa.Close()
+	wb := trajectory.NewWalker(b)
+	defer wb.Close()
+
+	var (
+		res        Result
+		odoA, odoB odometer
+	)
+	var lastA, lastB motion.Motion
+	t := 0.0
+	for t < opt.Horizon {
+		ma, endA := motionAt(wa, t, &odoA)
+		mb, endB := motionAt(wb, t, &odoB)
+		lastA, lastB = ma, mb
+
+		intervalEnd := math.Min(opt.Horizon, math.Min(endA, endB))
+		if math.IsInf(endA, 1) && math.IsInf(endB, 1) {
+			// Both halted: the gap is constant forever.
+			res.Intervals++
+			gap := ma.At(t).Dist(mb.At(t))
+			res.DistanceA, res.DistanceB = odoA.at(t), odoB.at(t)
+			if gap <= r {
+				return met(res, ma, mb, t), nil
+			}
+			res.Gap = gap
+			return res, nil
+		}
+
+		res.Intervals++
+		hit, found, err := motion.FirstContact(ma, mb, r, t, intervalEnd, mopt)
+		if err != nil {
+			return Result{}, fmt.Errorf("interval [%v, %v]: %w", t, intervalEnd, err)
+		}
+		if found {
+			res.DistanceA, res.DistanceB = odoA.at(hit), odoB.at(hit)
+			return met(res, ma, mb, hit), nil
+		}
+		t = intervalEnd
+	}
+	if lastA != nil && lastB != nil {
+		res.Gap = lastA.At(opt.Horizon).Dist(lastB.At(opt.Horizon))
+		res.DistanceA, res.DistanceB = odoA.at(opt.Horizon), odoB.at(opt.Horizon)
+	}
+	return res, nil
+}
+
+// met fills in the contact fields of a result.
+func met(res Result, ma, mb motion.Motion, t float64) Result {
+	res.Met = true
+	res.Time = t
+	res.WhereA = ma.At(t)
+	res.WhereB = mb.At(t)
+	res.Gap = res.WhereA.Dist(res.WhereB)
+	return res
+}
+
+// odometer accumulates the path length a robot has travelled: full lengths
+// of completed segments plus the time-proportional part of the current one
+// (all segments move at constant speed).
+type odometer struct {
+	traveled float64 // completed segments
+	haveSeg  bool
+	segStart float64
+	segDur   float64
+	segLen   float64
+}
+
+// observe notes the current segment; a change of segment start means the
+// previous segment completed in full.
+func (o *odometer) observe(start, dur, length float64) {
+	if o.haveSeg && start != o.segStart {
+		o.traveled += o.segLen
+	}
+	o.haveSeg = true
+	o.segStart, o.segDur, o.segLen = start, dur, length
+}
+
+// halt finalises the last segment of an exhausted source.
+func (o *odometer) halt() {
+	if o.haveSeg {
+		o.traveled += o.segLen
+		o.haveSeg = false
+	}
+}
+
+// at returns the distance travelled by absolute time t.
+func (o *odometer) at(t float64) float64 {
+	if !o.haveSeg || o.segDur == 0 {
+		return o.traveled
+	}
+	frac := (t - o.segStart) / o.segDur
+	if frac < 0 {
+		frac = 0
+	} else if frac > 1 {
+		frac = 1
+	}
+	return o.traveled + frac*o.segLen
+}
+
+// motionAt returns the exact motion of the walker at absolute time t and the
+// absolute end time of the current segment, updating the robot's odometer.
+// Past the end of a finite source the mover is static forever (end = +Inf).
+func motionAt(w *trajectory.Walker, t float64, odo *odometer) (motion.Motion, float64) {
+	seg, start, ok := w.SegmentAt(t)
+	if !ok {
+		odo.halt()
+		return motion.Static(w.FinalPosition()), math.Inf(1)
+	}
+	odo.observe(start, seg.Duration(), seg.PathLength())
+	return motion.FromSegment(seg, start), start + seg.Duration()
+}
+
+// Search simulates the search problem of Section 2: the reference robot runs
+// program from the origin; a static target sits at target; the robot sees it
+// at distance r. It returns the first detection time.
+func Search(program trajectory.Source, target geom.Vec, r float64, opt Options) (Result, error) {
+	return FirstMeeting(program, trajectory.Stationary(target), r, opt)
+}
+
+// Instance describes one rendezvous instance: the attributes of the second
+// robot R′, its initial displacement D (the vector d of the paper, pointing
+// from R to R′), and the shared visibility radius R.
+type Instance struct {
+	Attrs frame.Attributes
+	D     geom.Vec
+	R     float64
+}
+
+// Validate reports whether the instance is well-formed: legal attributes,
+// positive visibility, and distinct initial positions.
+func (in Instance) Validate() error {
+	if err := in.Attrs.Validate(); err != nil {
+		return err
+	}
+	if in.R <= 0 {
+		return errors.New("sim: visibility radius must be positive")
+	}
+	if in.D == (geom.Vec{}) {
+		return errors.New("sim: robots must start at different locations")
+	}
+	return nil
+}
+
+// Rendezvous simulates both robots executing the same local-frame program:
+// the reference robot R from the origin in the reference frame, and R′ from
+// displacement in.D under in.Attrs. Rendezvous is declared when their
+// distance first drops to in.R.
+func Rendezvous(program trajectory.Source, in Instance, opt Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	a := frame.Reference().Apply(program, geom.Zero)
+	b := in.Attrs.Apply(program, in.D)
+	return FirstMeeting(a, b, in.R, opt)
+}
+
+// RendezvousAsymmetric simulates two robots running *different* local-frame
+// programs (used by ablation experiments, e.g. one robot waiting). The
+// reference robot runs programA; R′ runs programB under in.Attrs.
+func RendezvousAsymmetric(programA, programB trajectory.Source, in Instance, opt Options) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	a := frame.Reference().Apply(programA, geom.Zero)
+	b := in.Attrs.Apply(programB, in.D)
+	return FirstMeeting(a, b, in.R, opt)
+}

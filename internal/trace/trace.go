@@ -1,0 +1,138 @@
+// Package trace samples simulated trajectories into tabular time series for
+// plotting and post-hoc analysis (the figures a systems reader would want:
+// robot tracks, pairwise gap over time, phase annotations). Output formats
+// are CSV and JSON, written with the standard library.
+//
+// Sampling is for *presentation only* — the simulator itself never samples;
+// contact detection is exact (see internal/motion).
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+// Sample is one time point: every robot's position.
+type Sample struct {
+	T         float64    `json:"t"`
+	Positions []geom.Vec `json:"positions"`
+}
+
+// Trace is a sampled multi-robot time series.
+type Trace struct {
+	Names   []string `json:"names"`
+	Samples []Sample `json:"samples"`
+}
+
+// Record samples the given trajectories on [0, until] at the given step.
+// Names label the columns; len(names) must equal len(sources). The final
+// sample lands exactly on until.
+func Record(sources []trajectory.Source, names []string, until, step float64) (*Trace, error) {
+	if len(sources) == 0 || len(sources) != len(names) {
+		return nil, errors.New("trace: need matching non-empty sources and names")
+	}
+	if until <= 0 || step <= 0 {
+		return nil, errors.New("trace: until and step must be positive")
+	}
+	paths := make([]*trajectory.Path, len(sources))
+	for i, src := range sources {
+		paths[i] = trajectory.NewPath(src)
+		defer paths[i].Close()
+	}
+	n := int(math.Ceil(until/step)) + 1
+	tr := &Trace{Names: append([]string(nil), names...), Samples: make([]Sample, 0, n)}
+	for i := range n {
+		t := math.Min(float64(i)*step, until)
+		s := Sample{T: t, Positions: make([]geom.Vec, len(paths))}
+		for j, p := range paths {
+			s.Positions[j] = p.Position(t)
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+	return tr, nil
+}
+
+// Gap returns the sampled distance between robots i and j over time.
+func (tr *Trace) Gap(i, j int) ([]float64, error) {
+	if i < 0 || j < 0 || i >= len(tr.Names) || j >= len(tr.Names) {
+		return nil, fmt.Errorf("trace: robot index out of range (%d, %d)", i, j)
+	}
+	gaps := make([]float64, len(tr.Samples))
+	for k, s := range tr.Samples {
+		gaps[k] = s.Positions[i].Dist(s.Positions[j])
+	}
+	return gaps, nil
+}
+
+// MinGap returns the sample with the smallest distance between robots i
+// and j.
+func (tr *Trace) MinGap(i, j int) (t, gap float64, err error) {
+	gaps, err := tr.Gap(i, j)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := 0
+	for k, g := range gaps {
+		if g < gaps[best] {
+			best = k
+		}
+	}
+	return tr.Samples[best].T, gaps[best], nil
+}
+
+// WriteCSV writes the trace as CSV with header
+// t,<name>_x,<name>_y,... and one row per sample.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 1+2*len(tr.Names))
+	header = append(header, "t")
+	for _, n := range tr.Names {
+		header = append(header, n+"_x", n+"_y")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, s := range tr.Samples {
+		row[0] = strconv.FormatFloat(s.T, 'g', -1, 64)
+		for i, p := range s.Positions {
+			row[1+2*i] = strconv.FormatFloat(p.X, 'g', -1, 64)
+			row[2+2*i] = strconv.FormatFloat(p.Y, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the trace as indented JSON.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tr)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	for i, s := range tr.Samples {
+		if len(s.Positions) != len(tr.Names) {
+			return nil, fmt.Errorf("trace: sample %d has %d positions for %d names",
+				i, len(s.Positions), len(tr.Names))
+		}
+	}
+	return &tr, nil
+}

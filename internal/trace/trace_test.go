@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/trajectory"
+)
+
+func twoRobotSources() ([]trajectory.Source, []string) {
+	a := frame.Reference().Apply(algo.CumulativeSearch(), geom.Zero)
+	attrs := frame.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: frame.CCW}
+	b := attrs.Apply(algo.CumulativeSearch(), geom.V(1, 0))
+	return []trajectory.Source{a, b}, []string{"R", "Rp"}
+}
+
+func TestRecordBasics(t *testing.T) {
+	srcs, names := twoRobotSources()
+	tr, err := Record(srcs, names, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Samples) != 21 {
+		t.Fatalf("got %d samples, want 21", len(tr.Samples))
+	}
+	if tr.Samples[0].T != 0 || tr.Samples[len(tr.Samples)-1].T != 10 {
+		t.Errorf("sample range [%v, %v], want [0, 10]",
+			tr.Samples[0].T, tr.Samples[len(tr.Samples)-1].T)
+	}
+	// Robot R starts at the origin, R′ at (1, 0).
+	if tr.Samples[0].Positions[0] != geom.Zero {
+		t.Errorf("R starts at %v", tr.Samples[0].Positions[0])
+	}
+	if tr.Samples[0].Positions[1] != geom.V(1, 0) {
+		t.Errorf("R′ starts at %v", tr.Samples[0].Positions[1])
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	srcs, names := twoRobotSources()
+	if _, err := Record(nil, nil, 10, 0.5); err == nil {
+		t.Error("empty sources accepted")
+	}
+	if _, err := Record(srcs, names[:1], 10, 0.5); err == nil {
+		t.Error("mismatched names accepted")
+	}
+	if _, err := Record(srcs, names, 0, 0.5); err == nil {
+		t.Error("zero until accepted")
+	}
+	if _, err := Record(srcs, names, 10, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}
+
+func TestGapAndMinGap(t *testing.T) {
+	srcs, names := twoRobotSources()
+	tr, err := Record(srcs, names, 50, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps, err := tr.Gap(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gaps[0]-1) > 1e-12 {
+		t.Errorf("initial gap %v, want 1", gaps[0])
+	}
+	tm, gap, err := tr.MinGap(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The robots (v=0.5 vs 1) approach below the initial distance at some
+	// point within 50 time units (rendezvous happens around t=41).
+	if gap >= 1 {
+		t.Errorf("min gap %v at t=%v, want < 1", gap, tm)
+	}
+	if _, err := tr.Gap(0, 5); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	srcs, names := twoRobotSources()
+	tr, err := Record(srcs, names, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 3 samples
+		t.Fatalf("got %d rows, want 4", len(records))
+	}
+	wantHeader := []string{"t", "R_x", "R_y", "Rp_x", "Rp_y"}
+	for i, h := range wantHeader {
+		if records[0][i] != h {
+			t.Errorf("header[%d] = %q, want %q", i, records[0][i], h)
+		}
+	}
+	if records[1][0] != "0" || records[1][3] != "1" {
+		t.Errorf("first data row wrong: %v", records[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	srcs, names := twoRobotSources()
+	tr, err := Record(srcs, names, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.String()
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Samples) != len(tr.Samples) || len(back.Names) != 2 {
+		t.Fatalf("round trip lost data: %d samples, %d names",
+			len(back.Samples), len(back.Names))
+	}
+	for i := range tr.Samples {
+		if back.Samples[i].T != tr.Samples[i].T {
+			t.Errorf("sample %d time %v != %v", i, back.Samples[i].T, tr.Samples[i].T)
+		}
+		for j := range tr.Names {
+			if !back.Samples[i].Positions[j].ApproxEqual(tr.Samples[i].Positions[j], 1e-12) {
+				t.Errorf("sample %d robot %d position mismatch", i, j)
+			}
+		}
+	}
+	// Lower-case field names per the json tags.
+	if !strings.Contains(encoded, `"x"`) || !strings.Contains(encoded, `"names"`) {
+		t.Error("json output missing tagged fields")
+	}
+}
+
+func TestReadJSONRejectsCorrupt(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{")); err == nil {
+		t.Error("truncated json accepted")
+	}
+	bad := `{"names":["a","b"],"samples":[{"t":0,"positions":[{"x":0,"y":0}]}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent sample width accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package trajectory
+
+import (
+	"iter"
+
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+// timed is a segment placed on the absolute time axis.
+type timed struct {
+	seg        segment.Segment
+	start, end float64
+}
+
+// Path consumes a Source lazily and answers position queries at absolute
+// times. Segments are cached as they are pulled, so queries may be made in
+// any order; the cache grows only as far forward as the largest time
+// queried. Call Close when done to release the underlying iterator.
+type Path struct {
+	next      func() (segment.Segment, bool)
+	stop      func()
+	segs      []timed
+	total     float64 // end time of last cached segment
+	exhausted bool
+}
+
+// NewPath starts consuming src. The path begins at time 0 at the first
+// segment's start point.
+func NewPath(src Source) *Path {
+	next, stop := iter.Pull(src)
+	return &Path{next: next, stop: stop}
+}
+
+// Close releases the underlying iterator. The Path remains usable for
+// queries within the already-cached prefix.
+func (p *Path) Close() {
+	if !p.exhausted {
+		p.exhausted = true
+		p.stop()
+	}
+}
+
+// extendTo pulls segments until the cached timeline covers time t or the
+// source is exhausted.
+func (p *Path) extendTo(t float64) {
+	for !p.exhausted && p.total <= t {
+		seg, ok := p.next()
+		if !ok {
+			p.exhausted = true
+			p.stop()
+			return
+		}
+		d := seg.Duration()
+		p.segs = append(p.segs, timed{seg: seg, start: p.total, end: p.total + d})
+		p.total += d
+	}
+}
+
+// find returns the index of the cached segment containing time t, assuming
+// the cache covers t. Times on a boundary belong to the later segment.
+func (p *Path) find(t float64) int {
+	lo, hi := 0, len(p.segs)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.segs[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Position returns the position at absolute time t. Times before 0 clamp to
+// the start; times past the end of a finite source clamp to the final
+// position (the robot halts where its program ends).
+func (p *Path) Position(t float64) geom.Vec {
+	p.extendTo(t)
+	if len(p.segs) == 0 {
+		return geom.Zero
+	}
+	if t <= 0 {
+		return p.segs[0].seg.Start()
+	}
+	if t >= p.total {
+		return p.segs[len(p.segs)-1].seg.End()
+	}
+	ts := p.segs[p.find(t)]
+	return ts.seg.Position(t - ts.start)
+}
+
+// SegmentAt returns the segment containing absolute time t together with
+// its absolute start time. ok is false when t is past the end of a finite
+// source (or the source is empty).
+func (p *Path) SegmentAt(t float64) (seg segment.Segment, start float64, ok bool) {
+	if t < 0 {
+		t = 0
+	}
+	p.extendTo(t)
+	if len(p.segs) == 0 || t >= p.total {
+		return nil, 0, false
+	}
+	ts := p.segs[p.find(t)]
+	return ts.seg, ts.start, true
+}
+
+// EndKnown reports whether the source is exhausted, and if so its total
+// duration.
+func (p *Path) EndKnown() (total float64, known bool) {
+	return p.total, p.exhausted
+}
+
+// CachedSegments returns the number of segments pulled so far.
+func (p *Path) CachedSegments() int { return len(p.segs) }

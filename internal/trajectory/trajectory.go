@@ -1,0 +1,145 @@
+// Package trajectory turns streams of motion segments into queryable paths.
+//
+// The paper's algorithms (Section 2: Algorithms 1-4; Section 4: Algorithms
+// 5-7) are unbounded loops, so trajectories are represented lazily as
+// iterator sequences of segments (Source). A Path consumes a Source on
+// demand and answers position-at-time queries; consumed segments are cached
+// so queries may move backwards in time as well.
+package trajectory
+
+import (
+	"iter"
+
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+// Source is a lazy, possibly infinite stream of motion segments. Each
+// segment is assumed to start where the previous one ended (continuity);
+// CheckContinuity verifies this for tests.
+type Source = iter.Seq[segment.Segment]
+
+// FromSlice returns a finite Source yielding the given segments in order.
+func FromSlice(segs []segment.Segment) Source {
+	return func(yield func(segment.Segment) bool) {
+		for _, s := range segs {
+			if !yield(s) {
+				return
+			}
+		}
+	}
+}
+
+// Concat returns a Source yielding all segments of each source in turn.
+func Concat(sources ...Source) Source {
+	return func(yield func(segment.Segment) bool) {
+		for _, src := range sources {
+			for s := range src {
+				if !yield(s) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Repeat yields the sources produced by gen(1), gen(2), ... forever. It is
+// the "repeat with increasing round number" control structure of
+// Algorithms 4 and 7.
+func Repeat(gen func(round int) Source) Source {
+	return func(yield func(segment.Segment) bool) {
+		for round := 1; ; round++ {
+			for s := range gen(round) {
+				if !yield(s) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Transform returns a Source applying the affine map m and time dilation
+// timeScale to every segment of src. This is how a reference frame is
+// applied to a whole trajectory.
+func Transform(src Source, m geom.Affine, timeScale float64) Source {
+	return func(yield func(segment.Segment) bool) {
+		for s := range src {
+			if !yield(segment.NewTransformed(s, m, timeScale)) {
+				return
+			}
+		}
+	}
+}
+
+// Truncate yields segments of src until the accumulated duration reaches
+// maxDuration; the final segment is yielded whole (not cut), so the total
+// duration may overshoot by at most one segment.
+func Truncate(src Source, maxDuration float64) Source {
+	return func(yield func(segment.Segment) bool) {
+		var elapsed float64
+		for s := range src {
+			if elapsed >= maxDuration {
+				return
+			}
+			if !yield(s) {
+				return
+			}
+			elapsed += s.Duration()
+		}
+	}
+}
+
+// Stationary returns a Source describing a robot that never moves from p.
+// Used to model static targets and, in analysis, a hypothetical waiting
+// peer. The single Wait segment is infinite in effect: Path clamps queries
+// past the end of a finite source, so one long wait suffices; we use a zero
+// duration wait and rely on clamping.
+func Stationary(p geom.Vec) Source {
+	return FromSlice([]segment.Segment{segment.Wait{At: p}})
+}
+
+// Duration returns the total duration of a finite source.
+func Duration(src Source) float64 {
+	var total float64
+	for s := range src {
+		total += s.Duration()
+	}
+	return total
+}
+
+// PathLength returns the total path length of a finite source.
+func PathLength(src Source) float64 {
+	var total float64
+	for s := range src {
+		total += s.PathLength()
+	}
+	return total
+}
+
+// Collect materialises a finite source into a slice.
+func Collect(src Source) []segment.Segment {
+	var segs []segment.Segment
+	for s := range src {
+		segs = append(segs, s)
+	}
+	return segs
+}
+
+// CheckContinuity returns the largest positional gap between consecutive
+// segments of a finite source, and the total number of segments. A correct
+// trajectory has gap 0 up to round-off.
+func CheckContinuity(src Source) (maxGap float64, n int) {
+	first := true
+	var prevEnd geom.Vec
+	for s := range src {
+		if !first {
+			if gap := s.Start().Dist(prevEnd); gap > maxGap {
+				maxGap = gap
+			}
+		}
+		prevEnd = s.End()
+		first = false
+		n++
+	}
+	return maxGap, n
+}

@@ -1,0 +1,87 @@
+package trajectory
+
+import (
+	"iter"
+
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+// Walker is a forward-only cursor over a Source holding O(1) state: only the
+// current segment is retained. The simulator uses it to walk trajectories
+// with millions of segments without caching them all (contrast Path, which
+// supports random access at the cost of remembering everything).
+type Walker struct {
+	next      func() (segment.Segment, bool)
+	stop      func()
+	cur       segment.Segment
+	start     float64 // absolute start time of cur
+	has       bool
+	exhausted bool
+	finalPos  geom.Vec
+	count     int
+}
+
+// NewWalker starts walking src from time 0.
+func NewWalker(src Source) *Walker {
+	next, stop := iter.Pull(src)
+	w := &Walker{next: next, stop: stop}
+	w.advance()
+	return w
+}
+
+// advance pulls the next segment, recording the end position of the current
+// one so that a finite source leaves the mover parked at its final point.
+func (w *Walker) advance() {
+	if w.exhausted {
+		return
+	}
+	var prevEnd float64
+	if w.has {
+		prevEnd = w.start + w.cur.Duration()
+		w.finalPos = w.cur.End()
+	}
+	seg, ok := w.next()
+	if !ok {
+		w.exhausted = true
+		w.has = false
+		w.stop()
+		return
+	}
+	w.cur = seg
+	w.start = prevEnd
+	w.has = true
+	w.count++
+}
+
+// SegmentAt returns the segment containing absolute time t and its absolute
+// start time. Queries must be monotonically non-decreasing; earlier times
+// within the current segment are fine, but times before it are answered with
+// the current segment (the past has been discarded). Zero-duration segments
+// are skipped. ok is false once a finite source is exhausted and t is past
+// its end.
+func (w *Walker) SegmentAt(t float64) (seg segment.Segment, start float64, ok bool) {
+	for w.has && w.start+w.cur.Duration() <= t {
+		w.advance()
+	}
+	if !w.has {
+		return nil, 0, false
+	}
+	return w.cur, w.start, true
+}
+
+// FinalPosition returns the last known position of an exhausted source: the
+// end of its final segment. Valid only after SegmentAt has returned !ok.
+func (w *Walker) FinalPosition() geom.Vec { return w.finalPos }
+
+// Consumed returns the number of segments pulled so far.
+func (w *Walker) Consumed() int { return w.count }
+
+// Close releases the underlying iterator.
+func (w *Walker) Close() {
+	if !w.exhausted {
+		w.exhausted = true
+		w.has = false
+		w.stop()
+	}
+}

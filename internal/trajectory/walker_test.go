@@ -1,0 +1,96 @@
+package trajectory
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+func TestWalkerBasic(t *testing.T) {
+	w := NewWalker(FromSlice([]segment.Segment{
+		line(0, 0, 2, 0),                 // [0,2]
+		segment.NewWait(geom.V(2, 0), 1), // [2,3]
+		line(2, 0, 2, 2),                 // [3,5]
+	}))
+	defer w.Close()
+
+	seg, start, ok := w.SegmentAt(0.5)
+	if !ok || start != 0 {
+		t.Fatalf("SegmentAt(0.5): ok=%v start=%v", ok, start)
+	}
+	if got := seg.Position(0.5 - start); !got.ApproxEqual(geom.V(0.5, 0), 1e-12) {
+		t.Errorf("position = %v", got)
+	}
+
+	// Advance into the wait.
+	seg, start, ok = w.SegmentAt(2.5)
+	if !ok || start != 2 {
+		t.Fatalf("SegmentAt(2.5): ok=%v start=%v", ok, start)
+	}
+	if _, isWait := seg.(segment.Wait); !isWait {
+		t.Errorf("SegmentAt(2.5) = %T, want Wait", seg)
+	}
+
+	// Re-query within the same segment is allowed.
+	if _, start2, ok := w.SegmentAt(2.2); !ok || start2 != 2 {
+		t.Error("re-query within current segment failed")
+	}
+
+	// Past the end: exhausted, final position available.
+	if _, _, ok := w.SegmentAt(10); ok {
+		t.Error("SegmentAt past end reported ok")
+	}
+	if got := w.FinalPosition(); !got.ApproxEqual(geom.V(2, 2), 1e-12) {
+		t.Errorf("FinalPosition = %v, want (2,2)", got)
+	}
+	if w.Consumed() != 3 {
+		t.Errorf("Consumed = %d, want 3", w.Consumed())
+	}
+}
+
+func TestWalkerSkipsZeroDurationSegments(t *testing.T) {
+	w := NewWalker(FromSlice([]segment.Segment{
+		line(0, 0, 1, 0),
+		segment.Wait{At: geom.V(1, 0)}, // zero duration
+		line(1, 0, 2, 0),
+	}))
+	defer w.Close()
+	seg, start, ok := w.SegmentAt(1.0)
+	if !ok {
+		t.Fatal("not ok at t=1")
+	}
+	if start != 1 {
+		t.Errorf("start = %v, want 1", start)
+	}
+	if l, isLine := seg.(segment.Line); !isLine || l.To != geom.V(2, 0) {
+		t.Errorf("segment = %#v, want second line", seg)
+	}
+}
+
+func TestWalkerO1Memory(t *testing.T) {
+	// The walker must consume exactly as many segments as needed, one at a
+	// time, and hold no history.
+	w := NewWalker(Repeat(func(i int) Source {
+		from := geom.V(float64(i-1), 0)
+		return FromSlice([]segment.Segment{segment.UnitLine(from, from.Add(geom.V(1, 0)))})
+	}))
+	defer w.Close()
+	if _, _, ok := w.SegmentAt(1000.5); !ok {
+		t.Fatal("infinite source reported exhausted")
+	}
+	if c := w.Consumed(); c != 1001 {
+		t.Errorf("Consumed = %d, want 1001", c)
+	}
+}
+
+func TestWalkerEmptySource(t *testing.T) {
+	w := NewWalker(FromSlice(nil))
+	defer w.Close()
+	if _, _, ok := w.SegmentAt(0); ok {
+		t.Error("empty source reported a segment")
+	}
+	if got := w.FinalPosition(); got != geom.Zero {
+		t.Errorf("FinalPosition = %v, want origin", got)
+	}
+}

@@ -1,0 +1,174 @@
+package rendezvous
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: two robots, one at half speed.
+	in := Instance{
+		Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},
+		D:     XY(1, 0),
+		R:     0.25,
+	}
+	if !Feasible(in.Attrs) {
+		t.Fatal("different speeds must be feasible")
+	}
+	bound := RendezvousTimeBound(in)
+	if math.IsInf(bound, 1) || bound <= 0 {
+		t.Fatalf("bound = %v, want finite positive", bound)
+	}
+	res, err := Rendezvous(CumulativeSearch(), in, Options{Horizon: 2 * bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("robots did not meet")
+	}
+	if res.Time > bound {
+		t.Errorf("met at %v, bound %v", res.Time, bound)
+	}
+}
+
+func TestUniversalIsUniversal(t *testing.T) {
+	// One algorithm, every feasible attribute combination.
+	cases := []Attributes{
+		{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},      // speed
+		{V: 1, Tau: 0.5, Phi: 0, Chi: CCW},      // clock
+		{V: 1, Tau: 1, Phi: 2, Chi: CCW},        // orientation
+		{V: 0.7, Tau: 1.4, Phi: 1, Chi: CW},     // several at once
+		{V: 0.5, Tau: 1, Phi: math.Pi, Chi: CW}, // speed with mirror
+	}
+	for _, a := range cases {
+		in := Instance{Attrs: a, D: XY(1, 0), R: 0.25}
+		res, err := Rendezvous(Universal(), in, Options{Horizon: 2e5})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !res.Met {
+			t.Errorf("%v: universal algorithm failed (gap %v)", a, res.Gap)
+		}
+	}
+}
+
+func TestInfeasibleNeverMeets(t *testing.T) {
+	for _, a := range []Attributes{
+		{V: 1, Tau: 1, Phi: 0, Chi: CCW},
+		{V: 1, Tau: 1, Phi: 0, Chi: CW},
+	} {
+		if Feasible(a) {
+			t.Fatalf("%v classified feasible", a)
+		}
+		if !math.IsInf(RendezvousTimeBound(Instance{Attrs: a, D: XY(1, 0), R: 0.25}), 1) {
+			t.Errorf("%v: bound should be +Inf", a)
+		}
+		in := Instance{Attrs: a, D: XY(1, 0), R: 0.25}
+		res, err := Rendezvous(Universal(), in, Options{Horizon: 5e3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Met {
+			t.Errorf("%v: symmetric robots met at %v", a, res.Time)
+		}
+	}
+}
+
+func TestSearchFacade(t *testing.T) {
+	res, err := Search(CumulativeSearch(), Polar(1, 0.3), 0.25, Options{Horizon: 1e3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("target not found")
+	}
+	if b := SearchTimeBound(1, 0.25); res.Time > b {
+		t.Errorf("time %v exceeds Theorem 1 bound %v", res.Time, b)
+	}
+	// Baseline facade.
+	res, err = Search(KnownVisibilitySearch(0.25), Polar(1, 0.3), 0.25, Options{Horizon: 1e3})
+	if err != nil || !res.Met {
+		t.Errorf("baseline search: met=%v err=%v", res.Met, err)
+	}
+}
+
+func TestSearchRoundFacade(t *testing.T) {
+	// SearchRound(2) is finite: a search that needs round 3 must fail.
+	res, err := Search(SearchRound(1), XY(3, 0), 0.01, Options{Horizon: 1e4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Error("Search(1) alone cannot see a distant fine target")
+	}
+}
+
+func TestRendezvousTimeBoundDispatch(t *testing.T) {
+	d, r := XY(1, 0), 0.25
+	// Symmetric clocks, same chirality → Theorem 2 (χ=+1).
+	sameChi := RendezvousTimeBound(Instance{Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW}, D: d, R: r})
+	if math.IsInf(sameChi, 1) {
+		t.Error("same-chirality bound infinite")
+	}
+	// Symmetric clocks, opposite chirality → Theorem 2 (χ=−1).
+	oppChi := RendezvousTimeBound(Instance{Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0.4, Chi: CW}, D: d, R: r})
+	if math.IsInf(oppChi, 1) {
+		t.Error("opposite-chirality bound infinite")
+	}
+	// Asymmetric clocks → Theorem 3 round bound.
+	asym := RendezvousTimeBound(Instance{Attrs: Attributes{V: 1, Tau: 0.5, Phi: 0, Chi: CCW}, D: d, R: r})
+	if math.IsInf(asym, 1) || asym <= 0 {
+		t.Errorf("asymmetric-clock bound = %v", asym)
+	}
+	// τ > 1 stretches the schedule by τ.
+	asym2 := RendezvousTimeBound(Instance{Attrs: Attributes{V: 1, Tau: 2, Phi: 0, Chi: CCW}, D: d, R: r})
+	if math.Abs(asym2-2*asym) > 1e-9*asym {
+		t.Errorf("τ=2 bound %v, want 2× τ=1/2 bound %v", asym2, asym)
+	}
+}
+
+func TestRendezvousAuto(t *testing.T) {
+	in := Instance{
+		Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},
+		D:     XY(1, 0),
+		R:     0.25,
+	}
+	// A tiny initial horizon forces several doublings before the meeting
+	// (which happens around t ≈ 41 under Algorithm 4).
+	res, err := RendezvousAuto(CumulativeSearch(), in, 1, 1e4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met {
+		t.Fatal("auto-horizon did not find the meeting")
+	}
+	// Infeasible: exhausts maxHorizon without meeting.
+	res, err = RendezvousAuto(CumulativeSearch(),
+		Instance{Attrs: Reference(), D: XY(1, 0), R: 0.25}, 10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Met {
+		t.Error("symmetric robots met under auto horizon")
+	}
+	// Option validation.
+	if _, err := RendezvousAuto(CumulativeSearch(), in, 0, 10); err == nil {
+		t.Error("zero initial horizon accepted")
+	}
+	if _, err := RendezvousAuto(CumulativeSearch(), in, 10, 5); err == nil {
+		t.Error("max < initial accepted")
+	}
+}
+
+func TestClassifyFacade(t *testing.T) {
+	v := Classify(Attributes{V: 0.5, Tau: 2, Phi: 1, Chi: CCW})
+	if !v.Feasible || len(v.Reasons) != 3 {
+		t.Errorf("Classify = %+v, want 3 reasons", v)
+	}
+}
+
+func TestMuFacade(t *testing.T) {
+	if got := Mu(1, math.Pi); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Mu(1, π) = %v, want 2", got)
+	}
+}
