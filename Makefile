@@ -1,0 +1,30 @@
+# Developer / CI entry points. `make ci` is what every PR must keep green:
+# vet, build, and the full test suite under the race detector (the sweep
+# engine is concurrent; -race is not optional).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fuzz
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchmem .
+
+# Short fuzz passes over the property-based targets (grid-spec parsing,
+# τ-decomposition, Lambert W).
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime 10s ./internal/sweep
+	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime 10s ./internal/bounds

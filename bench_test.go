@@ -11,12 +11,15 @@ package rendezvous
 
 import (
 	"math"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/algo"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/motion"
+	"repro/internal/sweep"
 	"repro/internal/trajectory"
 )
 
@@ -63,6 +66,61 @@ func BenchmarkE16VariableSpeed(b *testing.B) { benchExperiment(b, experiments.E1
 func BenchmarkAblationFixedStep(b *testing.B) { benchExperiment(b, experiments.A1FixedStepDetector) }
 func BenchmarkAblationNoWait(b *testing.B)    { benchExperiment(b, experiments.A2NoFinalWait) }
 func BenchmarkAblationNoRev(b *testing.B)     { benchExperiment(b, experiments.A3NoReversePass) }
+
+// --- sweep engine benchmarks -------------------------------------------
+
+// benchSweep runs a 24-instance rendezvous sweep (the E3/E4 workload shape:
+// one full simulated rendezvous per cell) at the given worker count. On a
+// multi-core runner BenchmarkSweepWorkersMax should beat
+// BenchmarkSweepWorkers1 by ≥2× wall clock; the outputs are bit-identical
+// either way (see internal/sweep and TestParallelSweepDeterminism).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	vs := []float64{0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+	phis := []float64{math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4, math.Pi}
+	n := len(vs) * len(phis)
+	for b.Loop() {
+		_, err := sweep.Run(n, func(i int, _ *rand.Rand) (float64, error) {
+			in := Instance{
+				Attrs: Attributes{V: vs[i/len(phis)], Tau: 1, Phi: phis[i%len(phis)], Chi: CCW},
+				D:     XY(1, 0),
+				R:     0.25,
+			}
+			res, err := Rendezvous(CumulativeSearch(), in, Options{Horizon: 1e5})
+			if err != nil {
+				return 0, err
+			}
+			return res.Time, nil
+		}, sweep.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n), "instances/op")
+}
+
+func BenchmarkSweepWorkers1(b *testing.B) { benchSweep(b, 1) }
+
+func BenchmarkSweepWorkersMax(b *testing.B) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		b.Log("GOMAXPROCS=1: expect parity with BenchmarkSweepWorkers1, not speedup")
+	}
+	benchSweep(b, 0)
+}
+
+// BenchmarkE1Serial / BenchmarkE1Parallel expose the same comparison at the
+// experiment level: E1 fans 64 independent searches through the pool.
+func BenchmarkE1Serial(b *testing.B) {
+	benchExperiment(b, func() (experiments.Table, error) {
+		return experiments.E1SearchScalingCfg(experiments.Config{Workers: 1})
+	})
+}
+
+func BenchmarkE1Parallel(b *testing.B) {
+	benchExperiment(b, func() (experiments.Table, error) {
+		return experiments.E1SearchScalingCfg(experiments.Config{Workers: 0})
+	})
+}
 
 // --- engine micro-benchmarks -------------------------------------------
 

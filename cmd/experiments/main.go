@@ -6,7 +6,16 @@
 //
 // Usage:
 //
-//	experiments [-run ID] [-markdown]
+//	experiments [-run ID] [-markdown] [-workers N] [-seed S] [-samples K]
+//
+//	-run ID       run a single experiment (e.g. E3); empty = all
+//	-markdown     emit GitHub-flavoured markdown instead of text
+//	-workers N    sweep worker-pool size: 0 = one per CPU, 1 = serial.
+//	              Output is bit-identical for every value.
+//	-seed S       base seed for Monte-Carlo sampling (per-instance seeds
+//	              are derived from (S, instance index))
+//	-samples K    K > 0 switches the sampling-aware experiments (E1) to
+//	              K random draws per grid cell, with summary statistics
 //
 // A non-zero exit status means a paper claim failed to reproduce.
 package main
@@ -23,14 +32,18 @@ func main() {
 	var (
 		id       = flag.String("run", "", "run a single experiment by id (e.g. E3); empty = all")
 		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of text")
+		workers  = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
+		seed     = flag.Int64("seed", 0, "base seed for Monte-Carlo sampling")
+		samples  = flag.Int("samples", 0, "Monte-Carlo draws per grid cell (0 = deterministic grids)")
 	)
 	flag.Parse()
 
+	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples}
 	var err error
 	if *id == "" {
-		err = experiments.RunAll(os.Stdout, *markdown)
+		err = experiments.RunAllCfg(os.Stdout, *markdown, cfg)
 	} else {
-		err = experiments.RunOne(*id, os.Stdout, *markdown)
+		err = experiments.RunOneCfg(*id, os.Stdout, *markdown, cfg)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

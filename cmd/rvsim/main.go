@@ -15,20 +15,35 @@
 //	-algo string  algorithm: "universal" (Alg. 7) or "search" (Alg. 4)
 //	-horizon float  give-up time (default: 4× the paper's bound, or 1e6)
 //
-// Exit status 0 when the robots meet, 1 on error, 2 when the horizon is
-// reached without a meeting.
+// With -samples K (K > 1) the single instance becomes a Monte-Carlo sweep:
+// K instances with the orientation φ and the displacement direction drawn
+// uniformly at random (per-instance seeds derived from (-seed, index)), fanned
+// out over -workers goroutines via the internal/sweep engine, reporting the
+// meeting fraction and summary statistics of the meeting times. The sweep is
+// bit-identical for a fixed -seed regardless of -workers.
+//
+//	-samples int  Monte-Carlo instances (default 1 = the single instance)
+//	-seed int     base seed for the Monte-Carlo sweep (default 0)
+//	-workers int  sweep worker-pool size: 0 = one per CPU, 1 = serial
+//
+// Exit status 0 when the robots meet (all sampled instances in sweep mode),
+// 1 on error, 2 when the horizon is reached without a meeting (any sampled
+// instance in sweep mode).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math"
+	"math/rand"
 	"os"
 
 	"repro"
+	"repro/internal/analysis"
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/plot"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/trajectory"
 )
@@ -51,6 +66,9 @@ func run() int {
 		traceOut  = flag.String("trace", "", "write a CSV trace of both robots to this file")
 		traceStep = flag.Float64("tracestep", 0.1, "sampling step for -trace")
 		plotOut   = flag.Bool("plot", false, "print ASCII track and gap charts")
+		samples   = flag.Int("samples", 1, "Monte-Carlo instances with random φ and displacement direction (1 = single instance)")
+		seed      = flag.Int64("seed", 0, "base seed for the Monte-Carlo sweep")
+		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
 	)
 	flag.Parse()
 
@@ -64,16 +82,24 @@ func run() int {
 		return 1
 	}
 
-	var program rendezvous.Trajectory
+	var mkProgram func() rendezvous.Trajectory
 	switch *algoArg {
 	case "universal":
-		program = rendezvous.Universal()
+		mkProgram = rendezvous.Universal
 	case "search":
-		program = rendezvous.CumulativeSearch()
+		mkProgram = rendezvous.CumulativeSearch
 	default:
 		fmt.Fprintf(os.Stderr, "rvsim: unknown algorithm %q\n", *algoArg)
 		return 1
 	}
+
+	if *samples > 1 {
+		if *traceOut != "" || *plotOut {
+			fmt.Fprintln(os.Stderr, "rvsim: -trace/-plot apply to single instances only; ignored with -samples > 1")
+		}
+		return runMonteCarlo(mkProgram, in, *samples, *seed, *workers, *horizon)
+	}
+	program := mkProgram()
 
 	verdict := rendezvous.Classify(in.Attrs)
 	bound := rendezvous.RendezvousTimeBound(in)
@@ -131,6 +157,56 @@ func run() int {
 	}
 	if !math.IsInf(bound, 1) && res.Time <= bound {
 		fmt.Printf("within paper bound: yes (%.2f%% of bound)\n", 100*res.Time/bound)
+	}
+	return 0
+}
+
+// runMonteCarlo fans `samples` randomised variants of the base instance out
+// over the sweep pool: each sample redraws the orientation φ and the
+// displacement direction (keeping |d|) from its private per-index RNG, so
+// the sweep reproduces exactly for a fixed seed at any worker count. It
+// prints the meeting fraction and summary statistics of the meeting times.
+func runMonteCarlo(mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64) int {
+	type outcome struct {
+		met  bool
+		time float64
+	}
+	dist := base.D.Norm()
+	results, err := sweep.Run(samples, func(i int, rng *rand.Rand) (outcome, error) {
+		in := base
+		in.Attrs.Phi = 2 * math.Pi * rng.Float64()
+		in.D = geom.Polar(dist, 2*math.Pi*rng.Float64())
+		h := horizon
+		if h <= 0 {
+			h = 4 * rendezvous.RendezvousTimeBound(in)
+			if math.IsInf(h, 1) || h <= 0 {
+				h = 1e6
+			}
+		}
+		res, err := rendezvous.Rendezvous(mkProgram(), in, rendezvous.Options{Horizon: h})
+		if err != nil {
+			return outcome{}, fmt.Errorf("sample %d (φ=%.4g): %w", i, in.Attrs.Phi, err)
+		}
+		return outcome{res.Met, res.Time}, nil
+	}, sweep.Options{Workers: workers, BaseSeed: seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		return 1
+	}
+	times := make([]float64, 0, len(results))
+	for _, o := range results {
+		if o.met {
+			times = append(times, o.time)
+		}
+	}
+	fmt.Printf("monte carlo: base attrs=%v |d|=%g r=%g, %d samples, seed %d\n",
+		base.Attrs, dist, base.R, samples, seed)
+	fmt.Printf("met: %d/%d\n", len(times), samples)
+	if len(times) > 0 {
+		fmt.Println("meeting times:", analysis.Summarize(times))
+	}
+	if len(times) < samples {
+		return 2
 	}
 	return 0
 }

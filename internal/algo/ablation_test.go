@@ -1,11 +1,11 @@
 package algo
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/geom"
 	"repro/internal/segment"
+	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
 
@@ -14,7 +14,7 @@ func TestSearchRoundNoWaitDuration(t *testing.T) {
 	for k := 1; k <= 5; k++ {
 		with := trajectory.Duration(SearchRound(k))
 		without := trajectory.Duration(SearchRoundNoWait(k))
-		if drift := with - without; math.Abs(drift-FinalWait(k)) > 1e-9 {
+		if drift := with - without; !testutil.CloseEnoughTol(drift, FinalWait(k), 1e-9, 0) {
 			t.Errorf("k=%d: drift %v, want FinalWait = %v", k, drift, FinalWait(k))
 		}
 	}
@@ -43,7 +43,7 @@ func TestUniversalNoRevSchedule(t *testing.T) {
 			for j := 1; j <= n; j++ {
 				want += 4 * SearchAllDuration(j)
 			}
-			if math.Abs((elapsed-w.Time)-want) > 1e-9*math.Max(1, want) {
+			if !testutil.CloseEnoughTol(elapsed-w.Time, want, 1e-9, 1e-9) {
 				t.Errorf("round %d boundary at %v, want %v", n, elapsed-w.Time, want)
 			}
 			n++

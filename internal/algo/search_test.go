@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/segment"
+	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
 
@@ -34,7 +35,7 @@ func cumulativePrefixDuration(k int) float64 {
 
 func relClose(t *testing.T, name string, got, want float64) {
 	t.Helper()
-	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+	if !testutil.CloseEnoughTol(got, want, 1e-9, 1e-9) {
 		t.Errorf("%s = %v, want %v (rel err %v)", name, got, want, math.Abs(got-want)/want)
 	}
 }
@@ -109,7 +110,7 @@ func TestRoundAnnulusInvariant(t *testing.T) {
 			delta, rho := RoundAnnulus(j, k)
 			got := delta * delta / rho
 			want := math.Ldexp(1, k+1)
-			if math.Abs(got-want) > 1e-9*want {
+			if !testutil.CloseEnoughTol(got, want, 1e-9, 1e-9) {
 				t.Errorf("k=%d j=%d: δ²/ρ = %v, want 2^(k+1) = %v", k, j, got, want)
 			}
 		}

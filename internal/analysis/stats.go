@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a batch of measurements — the
+// aggregation the sweep engine reports for Monte-Carlo experiment runs.
+type Summary struct {
+	N                int
+	Min, Max, Mean   float64
+	Median, Q25, Q75 float64
+	P90              float64
+}
+
+// Summarize computes the summary of xs. NaNs are dropped; an empty (or
+// all-NaN) batch yields N = 0 with NaN statistics.
+func Summarize(xs []float64) Summary {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	s := Summary{
+		N:   len(clean),
+		Min: math.NaN(), Max: math.NaN(), Mean: math.NaN(),
+		Median: math.NaN(), Q25: math.NaN(), Q75: math.NaN(), P90: math.NaN(),
+	}
+	if s.N == 0 {
+		return s
+	}
+	sort.Float64s(clean)
+	s.Min, s.Max = clean[0], clean[len(clean)-1]
+	sum := 0.0
+	for _, x := range clean {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	s.Q25 = quantileSorted(clean, 0.25)
+	s.Median = quantileSorted(clean, 0.5)
+	s.Q75 = quantileSorted(clean, 0.75)
+	s.P90 = quantileSorted(clean, 0.9)
+	return s
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs with linear
+// interpolation between order statistics, NaN for an empty batch or a q
+// outside [0, 1]. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	clean := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+		}
+	}
+	if len(clean) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	sort.Float64s(clean)
+	return quantileSorted(clean, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%.6g q25=%.6g median=%.6g q75=%.6g p90=%.6g max=%.6g mean=%.6g",
+		s.N, s.Min, s.Q25, s.Median, s.Q75, s.P90, s.Max, s.Mean)
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.N != 4 {
+		t.Fatalf("N = %d, want 4", s.N)
+	}
+	testutil.ApproxMsg(t, s.Min, 1, "Min")
+	testutil.ApproxMsg(t, s.Max, 4, "Max")
+	testutil.ApproxMsg(t, s.Mean, 2.5, "Mean")
+	testutil.ApproxMsg(t, s.Median, 2.5, "Median")
+	testutil.ApproxMsg(t, s.Q25, 1.75, "Q25")
+	testutil.ApproxMsg(t, s.Q75, 3.25, "Q75")
+	testutil.ApproxMsg(t, s.P90, 3.7, "P90")
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || !math.IsNaN(s.Mean) {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s := Summarize([]float64{math.NaN(), math.NaN()}); s.N != 0 {
+		t.Errorf("all-NaN summary has N = %d", s.N)
+	}
+	s := Summarize([]float64{7})
+	for name, got := range map[string]float64{
+		"Min": s.Min, "Max": s.Max, "Mean": s.Mean,
+		"Median": s.Median, "Q25": s.Q25, "Q75": s.Q75, "P90": s.P90,
+	} {
+		testutil.ApproxMsg(t, got, 7, name)
+	}
+	// NaNs are dropped, not propagated.
+	s = Summarize([]float64{1, math.NaN(), 3})
+	if s.N != 2 {
+		t.Errorf("N = %d, want 2 after dropping NaN", s.N)
+	}
+	testutil.ApproxMsg(t, s.Mean, 2, "Mean after NaN drop")
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{10, 40, 20, 30} // unsorted on purpose
+	testutil.ApproxMsg(t, Quantile(xs, 0), 10, "q0")
+	testutil.ApproxMsg(t, Quantile(xs, 1), 40, "q1")
+	testutil.ApproxMsg(t, Quantile(xs, 0.5), 25, "median")
+	testutil.ApproxMsg(t, Quantile(xs, 1.0/3), 20, "q1/3")
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(Quantile(xs, bad)) {
+			t.Errorf("Quantile(q=%v) should be NaN", bad)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty slice should be NaN")
+	}
+	// The input must not be reordered.
+	if xs[0] != 10 || xs[3] != 30 {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if got := (Summary{}).String(); got != "n=0" {
+		t.Errorf("empty summary string = %q", got)
+	}
+	s := Summarize([]float64{1, 2})
+	for _, want := range []string{"n=2", "min=1", "max=2", "mean=1.5"} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("summary string %q missing %q", s.String(), want)
+		}
+	}
+}

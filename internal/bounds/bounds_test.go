@@ -6,12 +6,15 @@ import (
 	"testing/quick"
 
 	"repro/internal/algo"
+	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
 
 func relClose(t *testing.T, name string, got, want float64) {
 	t.Helper()
-	if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+	// These are exact closed-form identities: hold them to the pre-migration
+	// 1e-9 tolerances, not the default hybrid scheme.
+	if !testutil.CloseEnoughTol(got, want, 1e-9, 1e-9) {
 		t.Errorf("%s = %v, want %v", name, got, want)
 	}
 }
@@ -68,7 +71,7 @@ func TestPhaseScheduleIdentities(t *testing.T) {
 
 func TestInactiveStartBaseCase(t *testing.T) {
 	// I(1) = 0: the algorithm begins with the first inactive phase.
-	if got := InactiveStart(1); math.Abs(got) > 1e-9 {
+	if got := InactiveStart(1); !testutil.CloseEnough(got, 0) {
 		t.Errorf("I(1) = %v, want 0", got)
 	}
 	relClose(t, "A(1)", ActiveStart(1), 2*SearchAllTime(1))
@@ -149,7 +152,7 @@ func TestUniversalPhaseOfTime(t *testing.T) {
 	relClose(t, "Into", p.Into, SearchAllTime(3))
 	// Just after the 3rd active phase begins.
 	p = UniversalPhaseOfTime(ActiveStart(3) + 5)
-	if p.Round != 3 || !p.Active || math.Abs(p.Into-5) > 1e-9 {
+	if p.Round != 3 || !p.Active || !testutil.CloseEnoughTol(p.Into, 5, 1e-9, 0) {
 		t.Errorf("phase = %+v, want active round 3, 5 in", p)
 	}
 }
@@ -265,7 +268,7 @@ func TestDecomposeTau(t *testing.T) {
 		if !ok {
 			t.Fatalf("DecomposeTau(%v) not ok", tt.tau)
 		}
-		if math.Abs(dec.T-tt.wantT) > 1e-12 || dec.A != tt.wantA {
+		if !testutil.CloseEnoughTol(dec.T, tt.wantT, 1e-12, 0) || dec.A != tt.wantA {
 			t.Errorf("DecomposeTau(%v) = {t=%v a=%d}, want {t=%v a=%d}",
 				tt.tau, dec.T, dec.A, tt.wantT, tt.wantA)
 		}
@@ -293,7 +296,7 @@ func TestDecomposeTauProperties(t *testing.T) {
 			return false
 		}
 		return dec.T >= 0.5 && dec.T < 1 && dec.A >= 0 &&
-			math.Abs(dec.Tau()-tau) <= 1e-12*tau
+			testutil.CloseEnoughTol(dec.Tau(), tau, 0, 1e-12)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Error(err)

@@ -3,6 +3,8 @@ package bounds
 import (
 	"math"
 	"testing"
+
+	"repro/internal/testutil"
 )
 
 func FuzzDecomposeTau(f *testing.F) {
@@ -30,7 +32,7 @@ func FuzzDecomposeTau(f *testing.F) {
 		if dec.A < 0 {
 			t.Fatalf("a = %d negative for τ = %v", dec.A, tau)
 		}
-		if got := dec.Tau(); math.Abs(got-tau) > 1e-12*tau {
+		if got := dec.Tau(); !testutil.CloseEnoughTol(got, tau, 0, 1e-12) {
 			t.Fatalf("recompose: %v != %v", got, tau)
 		}
 	})
@@ -57,8 +59,7 @@ func FuzzLambertW0(f *testing.F) {
 			}
 			// Defining identity within a relative tolerance.
 			got := w * math.Exp(w)
-			scale := math.Max(1, math.Abs(x))
-			if math.Abs(got-x) > 1e-6*scale {
+			if !testutil.CloseEnoughTol(got, x, 1e-6, 1e-6) {
 				t.Fatalf("W(%v)e^W = %v (W = %v)", x, got, w)
 			}
 		}

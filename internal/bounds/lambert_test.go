@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/testutil"
 )
 
 func TestLambertW0KnownValues(t *testing.T) {
@@ -17,8 +19,8 @@ func TestLambertW0KnownValues(t *testing.T) {
 	}
 	for _, tt := range tests {
 		got := LambertW0(tt.x)
-		// NaN-proof comparison: a NaN result must fail, not slip through.
-		if !(math.Abs(got-tt.want) <= 1e-12*math.Max(1, math.Abs(tt.want))) {
+		// CloseEnoughTol is NaN-proof: a NaN result fails, not slips through.
+		if !testutil.CloseEnoughTol(got, tt.want, 1e-12, 1e-12) {
 			t.Errorf("W(%v) = %v, want %v", tt.x, got, tt.want)
 		}
 	}
@@ -45,7 +47,7 @@ func TestLambertW0Inverse(t *testing.T) {
 		}
 		arg := x * math.Exp(x)
 		got := LambertW0(arg)
-		return math.Abs(got-x) <= 1e-9*math.Max(1, math.Abs(x))
+		return testutil.CloseEnoughTol(got, x, 1e-9, 1e-9)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
@@ -56,7 +58,7 @@ func TestLambertW0Inverse(t *testing.T) {
 func TestLambertW0ForwardIdentity(t *testing.T) {
 	for _, y := range []float64{-0.36, -0.1, 0.01, 0.5, 3, 50, 1e3, 1e8, 1e15} {
 		w := LambertW0(y)
-		if got := w * math.Exp(w); math.Abs(got-y) > 1e-9*math.Max(1, math.Abs(y)) {
+		if got := w * math.Exp(w); !testutil.CloseEnoughTol(got, y, 1e-9, 1e-9) {
 			t.Errorf("W(%v)e^W = %v, want %v", y, got, y)
 		}
 	}
@@ -81,7 +83,7 @@ func TestLambertWOfExpLargeArguments(t *testing.T) {
 	// w + ln w = y must hold for huge y where e^y overflows.
 	for _, y := range []float64{600, 1e4, 1e8} {
 		w := lambertWOfExp(y)
-		if got := w + math.Log(w); math.Abs(got-y) > 1e-9*y {
+		if got := w + math.Log(w); !testutil.CloseEnoughTol(got, y, 0, 1e-9) {
 			t.Errorf("y=%v: w+ln w = %v", y, got)
 		}
 	}

@@ -3,74 +3,121 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math/rand"
+
+	"repro/internal/sweep"
 )
 
-// Runner is one experiment: it produces a table or fails.
+// Runner is one experiment: it produces a table under the given execution
+// config or fails.
 type Runner struct {
 	ID  string
-	Run func() (Table, error)
+	Run func(Config) (Table, error)
+}
+
+// lift adapts an experiment that has no swept grid (or predates the sweep
+// engine) to the config-taking runner signature.
+func lift(f func() (Table, error)) func(Config) (Table, error) {
+	return func(Config) (Table, error) { return f() }
 }
 
 // All returns every experiment in presentation order: E1-E9 reproduce the
 // paper's quantitative claims; A1-A3 are ablations of our design choices.
+// E1-E9 fan their parameter grids out through internal/sweep and honour
+// Config; the extension experiments E10-E16 and ablations still run their
+// small fixed casework serially.
 func All() []Runner {
 	return []Runner{
-		{"E1", E1SearchScaling},
-		{"E2", E2Durations},
-		{"E3", E3SameChirality},
-		{"E4", E4OppositeChirality},
-		{"E5", E5PhaseSchedule},
-		{"E6", E6Overlap},
-		{"E7", E7UniversalRounds},
-		{"E8", E8Feasibility},
-		{"E9", E9Baselines},
-		{"E10", E10Gathering},
-		{"E11", E11LineVsPlane},
-		{"E12", E12Coverage},
-		{"E13", E13CompetitiveRatio},
-		{"E14", E14FaultInjection},
-		{"E15", E15PriceOfSymmetry},
-		{"E16", E16VariableSpeed},
-		{"A1", A1FixedStepDetector},
-		{"A2", A2NoFinalWait},
-		{"A3", A3NoReversePass},
+		{"E1", E1SearchScalingCfg},
+		{"E2", E2DurationsCfg},
+		{"E3", E3SameChiralityCfg},
+		{"E4", E4OppositeChiralityCfg},
+		{"E5", func(cfg Config) (Table, error) { return E5PhaseScheduleCfg(12, cfg) }},
+		{"E6", E6OverlapCfg},
+		{"E7", E7UniversalRoundsCfg},
+		{"E8", E8FeasibilityCfg},
+		{"E9", E9BaselinesCfg},
+		{"E10", lift(E10Gathering)},
+		{"E11", lift(E11LineVsPlane)},
+		{"E12", lift(E12Coverage)},
+		{"E13", lift(E13CompetitiveRatio)},
+		{"E14", lift(E14FaultInjection)},
+		{"E15", lift(E15PriceOfSymmetry)},
+		{"E16", lift(E16VariableSpeed)},
+		{"A1", lift(A1FixedStepDetector)},
+		{"A2", lift(A2NoFinalWait)},
+		{"A3", lift(A3NoReversePass)},
 	}
 }
 
-// RunAll executes every experiment and renders it to w in the requested
-// format ("text" or "markdown"). It stops at the first failure: a failing
-// experiment means a paper claim did not reproduce.
+// rowJob computes the formatted cells of one table row. The rng is the
+// job's private generator (see internal/sweep); deterministic grids ignore
+// it.
+type rowJob func(rng *rand.Rand) ([]any, error)
+
+// runRows executes one job per prospective row through the sweep pool and
+// appends the rows to t in job order, so the table is identical for every
+// worker count.
+func runRows(t *Table, cfg Config, jobs []rowJob) error {
+	rows, err := sweep.Run(len(jobs), func(i int, rng *rand.Rand) ([]any, error) {
+		return jobs[i](rng)
+	}, cfg.sweepOptions())
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	return nil
+}
+
+// RunAll executes every experiment with the default config and renders it
+// to w in the requested format ("text" or "markdown"). A failing experiment
+// means a paper claim did not reproduce.
 func RunAll(w io.Writer, markdown bool) error {
+	return RunAllCfg(w, markdown, Config{})
+}
+
+// RunAllCfg is RunAll under an explicit execution config. Experiments run
+// one after another — each internally fanned out through the sweep pool per
+// cfg.Workers, so total concurrency is exactly the configured pool size —
+// and every passing table is rendered before a failure stops the run.
+func RunAllCfg(w io.Writer, markdown bool, cfg Config) error {
 	for _, r := range All() {
-		table, err := r.Run()
+		table, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", r.ID, err)
 		}
-		if markdown {
-			if err := table.Markdown(w); err != nil {
-				return err
-			}
-		} else if err := table.Render(w); err != nil {
+		if err := renderTable(&table, w, markdown); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// RunOne executes a single experiment by ID.
+// RunOne executes a single experiment by ID with the default config.
 func RunOne(id string, w io.Writer, markdown bool) error {
+	return RunOneCfg(id, w, markdown, Config{})
+}
+
+// RunOneCfg is RunOne under an explicit execution config.
+func RunOneCfg(id string, w io.Writer, markdown bool, cfg Config) error {
 	for _, r := range All() {
 		if r.ID != id {
 			continue
 		}
-		table, err := r.Run()
+		table, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", r.ID, err)
 		}
-		if markdown {
-			return table.Markdown(w)
-		}
-		return table.Render(w)
+		return renderTable(&table, w, markdown)
 	}
 	return fmt.Errorf("experiments: unknown id %q", id)
+}
+
+func renderTable(t *Table, w io.Writer, markdown bool) error {
+	if markdown {
+		return t.Markdown(w)
+	}
+	return t.Render(w)
 }

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"repro/internal/sweep"
+)
+
+// Config controls how an experiment's parameter grid is executed. The zero
+// value runs fully parallel (one worker per CPU) with seed 0 and no
+// Monte-Carlo sampling — the deterministic grids the paper's tables use.
+type Config struct {
+	// Workers is the sweep pool size: 0 = GOMAXPROCS, 1 = serial. Output
+	// is bit-identical for every value (see internal/sweep).
+	Workers int
+	// Seed is the base seed for Monte-Carlo sampling; per-instance seeds
+	// are derived from (Seed, job index).
+	Seed int64
+	// Samples, when > 0, switches the experiments that support it (E1) to
+	// Monte-Carlo sampling with Samples random draws per grid cell instead
+	// of their fixed deterministic sweep, and adds summary-statistic
+	// columns (min/mean/p90/max via internal/analysis).
+	Samples int
+}
+
+func (c Config) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: c.Workers, BaseSeed: c.Seed}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/feasibility"
@@ -35,10 +36,15 @@ func AdversarialDisplacement(a frame.Attributes, scale float64) geom.Vec {
 	return span.Perp().Unit().Scale(scale)
 }
 
-// E8Feasibility reproduces Theorem 4: a grid over (v, τ, φ, χ) where the
+// E8Feasibility reproduces Theorem 4 with the default config.
+func E8Feasibility() (Table, error) { return E8FeasibilityCfg(Config{}) }
+
+// E8FeasibilityCfg reproduces Theorem 4: a grid over (v, τ, φ, χ) where the
 // simulated outcome (rendezvous within a horizon, against an adversarial
-// displacement) matches the theorem's characterisation exactly.
-func E8Feasibility() (Table, error) {
+// displacement) matches the theorem's characterisation exactly. Every grid
+// cell is an independent sweep job; a cell whose simulation contradicts the
+// prediction fails the whole experiment.
+func E8FeasibilityCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E8",
 		Title:   "feasibility grid under Algorithm 7 (universal)",
@@ -47,27 +53,32 @@ func E8Feasibility() (Table, error) {
 	}
 	const r = 0.25
 	const horizon = 1e5
+	var jobs []rowJob
 	for _, v := range []float64{0.5, 1} {
 		for _, tau := range []float64{0.5, 1} {
 			for _, phi := range []float64{0, 2.0} {
 				for _, chi := range []frame.Chirality{frame.CCW, frame.CW} {
-					a := frame.Attributes{V: v, Tau: tau, Phi: phi, Chi: chi}
-					verdict := feasibility.Classify(a)
-					in := sim.Instance{Attrs: a, D: AdversarialDisplacement(a, 1), R: r}
-					res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
-					if err != nil {
-						return t, fmt.Errorf("E8 %v: %w", a, err)
-					}
-					agree := res.Met == verdict.Feasible
-					t.AddRow(v, tau, phi, chi.String(),
-						feasLabel(verdict.Feasible), metLabel(res), boolMark(agree))
-					if !agree {
-						return t, fmt.Errorf("E8 %v: prediction %v but simulation met=%v",
-							a, verdict.Feasible, res.Met)
-					}
+					jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+						a := frame.Attributes{V: v, Tau: tau, Phi: phi, Chi: chi}
+						verdict := feasibility.Classify(a)
+						in := sim.Instance{Attrs: a, D: AdversarialDisplacement(a, 1), R: r}
+						res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+						if err != nil {
+							return nil, fmt.Errorf("E8 %v: %w", a, err)
+						}
+						if res.Met != verdict.Feasible {
+							return nil, fmt.Errorf("E8 %v: prediction %v but simulation met=%v",
+								a, verdict.Feasible, res.Met)
+						}
+						return []any{v, tau, phi, chi.String(),
+							feasLabel(verdict.Feasible), metLabel(res), boolMark(true)}, nil
+					})
 				}
 			}
 		}
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"infeasible cells use an adversarial displacement (feasibility quantifies over all d)",

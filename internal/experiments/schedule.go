@@ -3,11 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/bounds"
 	"repro/internal/geom"
 	"repro/internal/segment"
+	"repro/internal/sweep"
 )
 
 // E5PhaseSchedule reproduces Lemma 8 and Figures 1-2: the start times of the
@@ -18,34 +20,51 @@ func E5PhaseSchedule() (Table, error) { return E5PhaseScheduleN(12) }
 
 // E5PhaseScheduleN is E5PhaseSchedule limited to the first maxN rounds
 // (walking the stream costs O(4ⁿ) segments per round n).
-func E5PhaseScheduleN(maxN int) (Table, error) {
+func E5PhaseScheduleN(maxN int) (Table, error) { return E5PhaseScheduleCfg(maxN, Config{}) }
+
+// E5PhaseScheduleCfg is E5PhaseScheduleN under an execution config. The
+// measurement is one cumulative walk of the trajectory stream — inherently
+// serial — so it runs as a single sweep job: worker count cannot change the
+// output, only the engine's plumbing is shared.
+func E5PhaseScheduleCfg(maxN int, cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E5",
 		Title:   "phase schedule of Algorithm 7",
 		Source:  "Lemma 8, Figures 1-2",
 		Columns: []string{"n", "I(n) measured", "I(n) closed", "A(n) measured", "A(n) closed", "max rel. err"},
 	}
-	measuredI := make([]float64, maxN+1)
-	measuredA := make([]float64, maxN+1)
-
-	// Walk the stream: round n begins at the wait of length 2S(n); the
-	// active phase begins when that wait ends.
-	elapsed := 0.0
-	n := 1
-	for s := range algo.Universal() {
-		if w, ok := s.(segment.Wait); ok && w.At == geom.Zero && w.Time == 2*algo.SearchAllDuration(n) {
-			measuredI[n] = elapsed
-			measuredA[n] = elapsed + w.Time
-			n++
-			if n > maxN {
-				break
-			}
+	type schedule struct {
+		inactive, active []float64
+	}
+	meas, err := sweep.Run(1, func(int, *rand.Rand) (schedule, error) {
+		s := schedule{
+			inactive: make([]float64, maxN+1),
+			active:   make([]float64, maxN+1),
 		}
-		elapsed += s.Duration()
+		// Walk the stream: round n begins at the wait of length 2S(n); the
+		// active phase begins when that wait ends.
+		elapsed := 0.0
+		n := 1
+		for seg := range algo.Universal() {
+			if w, ok := seg.(segment.Wait); ok && w.At == geom.Zero && w.Time == 2*algo.SearchAllDuration(n) {
+				s.inactive[n] = elapsed
+				s.active[n] = elapsed + w.Time
+				n++
+				if n > maxN {
+					break
+				}
+			}
+			elapsed += seg.Duration()
+		}
+		if n <= maxN {
+			return s, fmt.Errorf("E5: found only %d rounds", n-1)
+		}
+		return s, nil
+	}, cfg.sweepOptions())
+	if err != nil {
+		return t, err
 	}
-	if n <= maxN {
-		return t, fmt.Errorf("E5: found only %d rounds", n-1)
-	}
+	measuredI, measuredA := meas[0].inactive, meas[0].active
 	for k := 1; k <= maxN; k++ {
 		ci, ca := bounds.InactiveStart(k), bounds.ActiveStart(k)
 		errI := math.Abs(measuredI[k]-ci) / math.Max(1, ci)
@@ -56,10 +75,15 @@ func E5PhaseScheduleN(maxN int) (Table, error) {
 	return t, nil
 }
 
-// E6Overlap reproduces Lemmas 9-10 and Figure 3: for admissible (τ, a) the
-// active phase of R overlaps the peer's inactive phase by the stated
-// amounts, and the overlap grows without bound with the round index.
-func E6Overlap() (Table, error) {
+// E6Overlap reproduces Lemmas 9-10 with the default config.
+func E6Overlap() (Table, error) { return E6OverlapCfg(Config{}) }
+
+// E6OverlapCfg reproduces Lemmas 9-10 and Figure 3: for admissible (τ, a)
+// the active phase of R overlaps the peer's inactive phase by the stated
+// amounts, and the overlap grows without bound with the round index. Every
+// (τ, a, k) cell is an independent sweep job (closed-form, so the pool just
+// evaluates them in order).
+func E6OverlapCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E6",
 		Title:   "active/inactive phase overlap under asymmetric clocks",
@@ -70,26 +94,31 @@ func E6Overlap() (Table, error) {
 		tau float64
 		a   int
 	}
+	var jobs []rowJob
 	for _, re := range []regime{{0.5, 0}, {0.25, 1}, {0.62, 0}, {0.9, 0}} {
 		for k := 2 * (re.a + 1); k <= 2*(re.a+1)+8; k += 2 {
-			var (
-				lemma   string
-				overlap float64
-			)
-			switch {
-			case bounds.LemmaNineApplies(k, re.a, re.tau):
-				lemma = "9 (Fig 3a)"
-				overlap = bounds.OverlapActiveInactive(k, re.a, re.tau)
-			case bounds.LemmaTenApplies(k, re.a, re.tau):
-				lemma = "10 (Fig 3b)"
-				overlap = bounds.OverlapInactiveActive(k, re.a, re.tau)
-			default:
-				t.AddRow(re.tau, re.a, k, "none", "-", "-")
-				continue
-			}
-			t.AddRow(re.tau, re.a, k, lemma, overlap,
-				fmt.Sprintf("%.3f", overlap/bounds.SearchAllTime(k)))
+			jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+				var (
+					lemma   string
+					overlap float64
+				)
+				switch {
+				case bounds.LemmaNineApplies(k, re.a, re.tau):
+					lemma = "9 (Fig 3a)"
+					overlap = bounds.OverlapActiveInactive(k, re.a, re.tau)
+				case bounds.LemmaTenApplies(k, re.a, re.tau):
+					lemma = "10 (Fig 3b)"
+					overlap = bounds.OverlapInactiveActive(k, re.a, re.tau)
+				default:
+					return []any{re.tau, re.a, k, "none", "-", "-"}, nil
+				}
+				return []any{re.tau, re.a, k, lemma, overlap,
+					fmt.Sprintf("%.3f", overlap/bounds.SearchAllTime(k))}, nil
+			})
 		}
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"overlap grows without bound in k wherever a lemma applies, enabling Lemma 11/12",

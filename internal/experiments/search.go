@@ -3,97 +3,153 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/algo"
+	"repro/internal/analysis"
 	"repro/internal/bounds"
 	"repro/internal/geom"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trajectory"
 )
 
-// E1SearchScaling reproduces Theorem 1: the measured search time of
+// E1SearchScaling reproduces Theorem 1 with the default config.
+func E1SearchScaling() (Table, error) { return E1SearchScalingCfg(Config{}) }
+
+// E1SearchScalingCfg reproduces Theorem 1: the measured search time of
 // Algorithm 4 against static targets, swept over d and r, never exceeds
 // 6(π+1)·log₂(d²/r)·(d²/r), and grows with (d²/r)·log(d²/r). The measured
-// column is the worst case over eight target directions (the adversary
-// places the target).
-func E1SearchScaling() (Table, error) {
+// column is the worst case over the target directions: eight fixed ones by
+// default (the adversary places the target), or cfg.Samples random ones per
+// cell under Monte-Carlo sampling, which also adds mean/p90 summary columns.
+// Every (d, r, direction) instance is an independent sweep job.
+func E1SearchScalingCfg(cfg Config) (Table, error) {
+	mc := cfg.Samples > 0
 	t := Table{
 		ID:      "E1",
 		Title:   "search time of Algorithm 4 vs. the Theorem 1 bound",
 		Source:  "Theorem 1",
 		Columns: []string{"d", "r", "d²/r", "T_measured(worst dir)", "T_bound", "measured/bound", "round"},
 	}
-	for _, d := range []float64{0.5, 1, 2, 4} {
-		for _, r := range []float64{0.25, 0.0625} {
-			bound := bounds.SearchTimeBound(d, r)
-			horizon := 2*bound + 1000
-			worst := 0.0
-			for i := range 8 {
-				target := geom.Polar(d, 2*math.Pi*float64(i)/8+0.1)
-				res, err := sim.Search(algo.CumulativeSearch(), target, r, sim.Options{Horizon: horizon})
-				if err != nil {
-					return t, fmt.Errorf("E1 d=%v r=%v: %w", d, r, err)
-				}
-				if !res.Met {
-					return t, fmt.Errorf("E1 d=%v r=%v dir %d: target not found", d, r, i)
-				}
-				if res.Time > worst {
-					worst = res.Time
-				}
-			}
-			ratio := "n/a (bound vacuous)"
-			if bound > 0 {
-				ratio = fmt.Sprintf("%.3f", worst/bound)
-			}
-			t.AddRow(d, r, d*d/r, worst, bound, ratio, bounds.SearchRoundOfTime(worst))
+	if mc {
+		t.Columns = append(t.Columns, "T_mean", "T_p90")
+	}
+	grid := sweep.Grid{
+		sweep.Vals("d", 0.5, 1, 2, 4),
+		sweep.Vals("r", 0.25, 0.0625),
+	}
+	dirs := 8
+	if mc {
+		dirs = cfg.Samples
+	}
+	times, err := sweep.RunGrid(grid, dirs, func(point []float64, k int, rng *rand.Rand) (float64, error) {
+		d, r := point[0], point[1]
+		angle := 2*math.Pi*float64(k)/8 + 0.1
+		if mc {
+			angle = 2 * math.Pi * rng.Float64()
 		}
+		target := geom.Polar(d, angle)
+		bound := bounds.SearchTimeBound(d, r)
+		res, err := sim.Search(algo.CumulativeSearch(), target, r, sim.Options{Horizon: 2*bound + 1000})
+		if err != nil {
+			return 0, fmt.Errorf("E1 d=%v r=%v: %w", d, r, err)
+		}
+		if !res.Met {
+			return 0, fmt.Errorf("E1 d=%v r=%v dir %d: target not found", d, r, k)
+		}
+		return res.Time, nil
+	}, cfg.sweepOptions())
+	if err != nil {
+		return t, err
+	}
+	for ci := 0; ci < grid.Size(); ci++ {
+		point := grid.Point(ci)
+		d, r := point[0], point[1]
+		cell := times[ci*dirs : (ci+1)*dirs]
+		s := analysis.Summarize(cell)
+		worst := s.Max
+		bound := bounds.SearchTimeBound(d, r)
+		ratio := "n/a (bound vacuous)"
+		if bound > 0 {
+			ratio = fmt.Sprintf("%.3f", worst/bound)
+		}
+		row := []any{d, r, d * d / r, worst, bound, ratio, bounds.SearchRoundOfTime(worst)}
+		if mc {
+			row = append(row, s.Mean, s.P90)
+		}
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"shape check: measured/bound < 1 everywhere; time grows with (d²/r)·log(d²/r)")
+	if mc {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("Monte-Carlo directions: %d per cell, base seed %d", cfg.Samples, cfg.Seed))
+	}
 	return t, nil
 }
 
-// E2Durations reproduces Lemma 2: the closed-form durations of Algorithms
-// 1-4 against the exactly simulated trajectory durations.
-func E2Durations() (Table, error) {
+// E2Durations reproduces Lemma 2 with the default config.
+func E2Durations() (Table, error) { return E2DurationsCfg(Config{}) }
+
+// E2DurationsCfg reproduces Lemma 2: the closed-form durations of
+// Algorithms 1-4 against the exactly simulated trajectory durations, one
+// sweep job per table row.
+func E2DurationsCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E2",
 		Title:   "closed-form vs. simulated durations of Algorithms 1-4",
 		Source:  "Lemma 2",
 		Columns: []string{"algorithm", "parameters", "closed form", "simulated", "rel. error"},
 	}
-	add := func(name, params string, closed, simulated float64) {
+	row := func(name, params string, closed, simulated float64) ([]any, error) {
 		relErr := math.Abs(closed-simulated) / math.Max(1, math.Abs(closed))
-		t.AddRow(name, params, closed, simulated, fmt.Sprintf("%.2e", relErr))
+		return []any{name, params, closed, simulated, fmt.Sprintf("%.2e", relErr)}, nil
 	}
+	var jobs []rowJob
 	for _, delta := range []float64{0.5, 2} {
-		add("SearchCircle", fmt.Sprintf("δ=%g", delta),
-			bounds.SearchCircleTime(delta), trajectory.Duration(algo.SearchCircle(delta)))
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			return row("SearchCircle", fmt.Sprintf("δ=%g", delta),
+				bounds.SearchCircleTime(delta), trajectory.Duration(algo.SearchCircle(delta)))
+		})
 	}
 	for _, c := range []struct{ d1, d2, rho float64 }{{0.5, 1, 0.0625}, {1, 2, 0.125}} {
-		add("SearchAnnulus", fmt.Sprintf("δ1=%g δ2=%g ρ=%g", c.d1, c.d2, c.rho),
-			bounds.SearchAnnulusTime(c.d1, c.d2, c.rho),
-			trajectory.Duration(algo.SearchAnnulus(c.d1, c.d2, c.rho)))
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			return row("SearchAnnulus", fmt.Sprintf("δ1=%g δ2=%g ρ=%g", c.d1, c.d2, c.rho),
+				bounds.SearchAnnulusTime(c.d1, c.d2, c.rho),
+				trajectory.Duration(algo.SearchAnnulus(c.d1, c.d2, c.rho)))
+		})
 	}
 	for k := 1; k <= 6; k++ {
-		add("Search(k)", fmt.Sprintf("k=%d", k),
-			bounds.SearchRoundTime(k), trajectory.Duration(algo.SearchRound(k)))
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			return row("Search(k)", fmt.Sprintf("k=%d", k),
+				bounds.SearchRoundTime(k), trajectory.Duration(algo.SearchRound(k)))
+		})
 	}
 	for k := 1; k <= 6; k++ {
-		var simulated float64
-		for j := 1; j <= k; j++ {
-			simulated += trajectory.Duration(algo.SearchRound(j))
-		}
-		add("Alg.4 prefix", fmt.Sprintf("k=%d", k), bounds.CumulativePrefixTime(k), simulated)
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			var simulated float64
+			for j := 1; j <= k; j++ {
+				simulated += trajectory.Duration(algo.SearchRound(j))
+			}
+			return row("Alg.4 prefix", fmt.Sprintf("k=%d", k), bounds.CumulativePrefixTime(k), simulated)
+		})
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes, "all relative errors are float64 round-off (≤ 1e-12)")
 	return t, nil
 }
 
-// E9Baselines compares the paper's search algorithm with the baseline
-// strategies on shared workloads: the adaptive schedule is the only one that
-// succeeds everywhere without knowing r.
-func E9Baselines() (Table, error) {
+// E9Baselines compares strategies with the default config.
+func E9Baselines() (Table, error) { return E9BaselinesCfg(Config{}) }
+
+// E9BaselinesCfg compares the paper's search algorithm with the baseline
+// strategies on shared workloads: the adaptive schedule is the only one
+// that succeeds everywhere without knowing r. Every (d, r, strategy) cell
+// is an independent sweep job; rows are assembled per (d, r) afterwards.
+func E9BaselinesCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E9",
 		Title:  "Algorithm 4 vs. baseline search strategies",
@@ -101,41 +157,44 @@ func E9Baselines() (Table, error) {
 		Columns: []string{"d", "r", "Alg.4 (no knowledge)", "known-r sweep",
 			"fixed pitch 0.5", "expanding rings"},
 	}
-	type strategy struct {
-		name string
-		src  func() trajectory.Source
-	}
-	strategies := []strategy{
-		{"alg4", algo.CumulativeSearch},
-		{"known", nil}, // built per-r below
-		{"pitch", func() trajectory.Source { return algo.FixedPitchSweep(0.5) }},
-		{"rings", algo.ExpandingRings},
-	}
 	// Distances deliberately off the baselines' circle radii (multiples of
 	// the pitch / powers of two), so coverage gaps are actually probed.
-	for _, d := range []float64{1.3, 2.7, 4.9} {
-		for _, r := range []float64{0.25, 0.0625} {
-			target := geom.Polar(d, 0.7)
-			horizon := 4*bounds.SearchTimeBound(d, r) + 2000
-			cells := make([]string, 0, len(strategies))
-			for _, s := range strategies {
-				src := s.src
-				if s.name == "known" {
-					rr := r
-					src = func() trajectory.Source { return algo.KnownVisibilitySearch(rr) }
-				}
-				res, err := sim.Search(src(), target, r, sim.Options{Horizon: horizon})
-				if err != nil {
-					return t, fmt.Errorf("E9 %s d=%v r=%v: %w", s.name, d, r, err)
-				}
-				if res.Met {
-					cells = append(cells, fmt.Sprintf("%.4g", res.Time))
-				} else {
-					cells = append(cells, "MISS")
-				}
-			}
-			t.AddRow(d, r, cells[0], cells[1], cells[2], cells[3])
+	grid := sweep.Grid{
+		sweep.Vals("d", 1.3, 2.7, 4.9),
+		sweep.Vals("r", 0.25, 0.0625),
+	}
+	type strategy struct {
+		name string
+		src  func(r float64) trajectory.Source
+	}
+	strategies := []strategy{
+		{"alg4", func(float64) trajectory.Source { return algo.CumulativeSearch() }},
+		{"known", func(r float64) trajectory.Source { return algo.KnownVisibilitySearch(r) }},
+		{"pitch", func(float64) trajectory.Source { return algo.FixedPitchSweep(0.5) }},
+		{"rings", func(float64) trajectory.Source { return algo.ExpandingRings() }},
+	}
+	// The strategy index rides as the per-point "sample".
+	cells, err := sweep.RunGrid(grid, len(strategies), func(point []float64, si int, _ *rand.Rand) (string, error) {
+		d, r := point[0], point[1]
+		s := strategies[si]
+		target := geom.Polar(d, 0.7)
+		horizon := 4*bounds.SearchTimeBound(d, r) + 2000
+		res, err := sim.Search(s.src(r), target, r, sim.Options{Horizon: horizon})
+		if err != nil {
+			return "", fmt.Errorf("E9 %s d=%v r=%v: %w", s.name, d, r, err)
 		}
+		if !res.Met {
+			return "MISS", nil
+		}
+		return fmt.Sprintf("%.4g", res.Time), nil
+	}, cfg.sweepOptions())
+	if err != nil {
+		return t, err
+	}
+	for ci := 0; ci < grid.Size(); ci++ {
+		point := grid.Point(ci)
+		row := cells[ci*len(strategies) : (ci+1)*len(strategies)]
+		t.AddRow(point[0], point[1], row[0], row[1], row[2], row[3])
 	}
 	t.Notes = append(t.Notes,
 		"known-r sweep beats Alg.4 by ~the log factor; fixed pitch misses when r < pitch/2;",

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestParallelSweepDeterminism is the acceptance gate for the sweep port:
+// serial (Workers: 1) and fully parallel execution must produce
+// bit-identical tables for the same seed, both on the deterministic grids
+// and on the Monte-Carlo path (Samples > 0).
+func TestParallelSweepDeterminism(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"deterministic grid", Config{Seed: 3}},
+		{"monte carlo", Config{Seed: 3, Samples: 5}},
+	}
+	experiments := []struct {
+		id  string
+		run func(Config) (Table, error)
+	}{
+		{"E1", E1SearchScalingCfg},
+		{"E3", E3SameChiralityCfg},
+		{"E8", E8FeasibilityCfg},
+		{"E9", E9BaselinesCfg},
+	}
+	for _, c := range configs {
+		for _, e := range experiments {
+			serial, parallel := c.cfg, c.cfg
+			serial.Workers = 1
+			parallel.Workers = 8
+			want, err := e.run(serial)
+			if err != nil {
+				t.Fatalf("%s %s serial: %v", c.name, e.id, err)
+			}
+			got, err := e.run(parallel)
+			if err != nil {
+				t.Fatalf("%s %s parallel: %v", c.name, e.id, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s %s: parallel table differs from serial", c.name, e.id)
+			}
+		}
+	}
+}
+
+// TestMonteCarloSeedVariation: different seeds must actually change the
+// sampled instances (and identical seeds must not).
+func TestMonteCarloSeedVariation(t *testing.T) {
+	a, err := E1SearchScalingCfg(Config{Seed: 1, Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E1SearchScalingCfg(Config{Seed: 2, Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := E1SearchScalingCfg(Config{Seed: 1, Samples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Error("seeds 1 and 2 sampled identical grids")
+	}
+	if !reflect.DeepEqual(a.Rows, c.Rows) {
+		t.Error("same seed did not reproduce the table")
+	}
+	// MC mode adds the summary columns.
+	if got := a.Columns[len(a.Columns)-2:]; got[0] != "T_mean" || got[1] != "T_p90" {
+		t.Errorf("summary columns missing under sampling: %v", a.Columns)
+	}
+}
+
+// TestRunAllCfgMatchesSerial renders the full suite both ways at a reduced
+// scale via RunOneCfg on a cheap experiment and compares bytes.
+func TestRunAllCfgMatchesSerial(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := RunOneCfg("E2", &serial, false, Config{Workers: 1, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunOneCfg("E2", &parallel, false, Config{Workers: 6, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Error("rendered output differs between worker counts")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/bounds"
@@ -10,10 +11,14 @@ import (
 	"repro/internal/sim"
 )
 
-// E7UniversalRounds reproduces Lemmas 11-13 / Theorem 3: the round of
+// E7UniversalRounds reproduces Lemmas 11-13 with the default config.
+func E7UniversalRounds() (Table, error) { return E7UniversalRoundsCfg(Config{}) }
+
+// E7UniversalRoundsCfg reproduces Lemmas 11-13 / Theorem 3: the round of
 // Algorithm 7 in which the robots actually rendezvous, for a sweep of clock
-// ratios, never exceeds the predicted k*.
-func E7UniversalRounds() (Table, error) {
+// ratios, never exceeds the predicted k*. Every (r, τ) cell is an
+// independent sweep job.
+func E7UniversalRoundsCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E7",
 		Title:  "rendezvous round of Algorithm 7 vs. the Lemma 13 prediction",
@@ -25,43 +30,50 @@ func E7UniversalRounds() (Table, error) {
 	// Two visibility radii: r = 1/4 gives n = 2 (meetings in round 1-2);
 	// r = 1/64 gives n = 6 (the robots need several rounds of annuli fine
 	// enough to see each other, so the measured round grows).
+	var jobs []rowJob
 	for _, r := range []float64{0.25, 1.0 / 64} {
-		n := bounds.GuaranteedSearchRound(d, r)
 		for _, tau := range []float64{0.5, 0.375, 0.6, 0.7, 0.75, 2.0} {
-			norm, ok := bounds.NormalizeTau(tau)
-			if !ok {
-				return t, fmt.Errorf("E7: bad τ %v", tau)
-			}
-			dec, _ := bounds.DecomposeTau(norm)
-			kStar, _ := bounds.RendezvousRoundBound(n, norm)
-			horizon := bounds.InactiveStart(kStar + 2)
+			jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+				n := bounds.GuaranteedSearchRound(d, r)
+				norm, ok := bounds.NormalizeTau(tau)
+				if !ok {
+					return nil, fmt.Errorf("E7: bad τ %v", tau)
+				}
+				dec, _ := bounds.DecomposeTau(norm)
+				kStar, _ := bounds.RendezvousRoundBound(n, norm)
+				horizon := bounds.InactiveStart(kStar + 2)
 
-			in := sim.Instance{
-				Attrs: frame.Attributes{V: 1, Tau: tau, Phi: 0, Chi: frame.CCW},
-				D:     geom.V(d, 0),
-				R:     r,
-			}
-			res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
-			if err != nil {
-				return t, fmt.Errorf("E7 τ=%v: %w", tau, err)
-			}
-			if !res.Met {
-				return t, fmt.Errorf("E7 τ=%v: no rendezvous before I(k*+2)=%v", tau, horizon)
-			}
-			// Attribute the meeting to the round of the slower-clocked
-			// robot (the paper's reference robot R has the unit clock; when
-			// τ > 1 the roles swap, so normalise by the faster schedule).
-			scale := 1.0
-			if tau > 1 {
-				scale = 1 / tau
-			}
-			round := bounds.UniversalRoundOfTime(res.Time * scale)
-			if round > kStar {
-				return t, fmt.Errorf("E7 τ=%v: met in round %d > k* = %d", tau, round, kStar)
-			}
-			t.AddRow(fmt.Sprintf("%g", tau)+" (r="+fmt.Sprintf("%g", r)+")",
-				dec.T, dec.A, n, res.Time, round, kStar)
+				in := sim.Instance{
+					Attrs: frame.Attributes{V: 1, Tau: tau, Phi: 0, Chi: frame.CCW},
+					D:     geom.V(d, 0),
+					R:     r,
+				}
+				res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+				if err != nil {
+					return nil, fmt.Errorf("E7 τ=%v: %w", tau, err)
+				}
+				if !res.Met {
+					return nil, fmt.Errorf("E7 τ=%v: no rendezvous before I(k*+2)=%v", tau, horizon)
+				}
+				// Attribute the meeting to the round of the slower-clocked
+				// robot (the paper's reference robot R has the unit clock;
+				// when τ > 1 the roles swap, so normalise by the faster
+				// schedule).
+				scale := 1.0
+				if tau > 1 {
+					scale = 1 / tau
+				}
+				round := bounds.UniversalRoundOfTime(res.Time * scale)
+				if round > kStar {
+					return nil, fmt.Errorf("E7 τ=%v: met in round %d > k* = %d", tau, round, kStar)
+				}
+				return []any{fmt.Sprintf("%g", tau) + " (r=" + fmt.Sprintf("%g", r) + ")",
+					dec.T, dec.A, n, res.Time, round, kStar}, nil
+			})
 		}
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"measured round ≤ k* everywhere; k* is a worst-case envelope and is typically loose:",

@@ -8,6 +8,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
 
@@ -42,7 +43,7 @@ func TestFirstMeetingAgainstDenseSampling(t *testing.T) {
 		if !res.Met {
 			continue // nothing to cross-validate (also covered elsewhere)
 		}
-		if math.Abs(res.Gap-r) > 1e-6*r {
+		if !testutil.CloseEnoughTol(res.Gap, r, 0, 1e-6) {
 			t.Errorf("case %d: gap at meeting = %v, want r = %v", i, res.Gap, r)
 		}
 

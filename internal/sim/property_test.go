@@ -10,6 +10,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/testutil"
 )
 
 // Randomised instance properties. A fixed seed keeps the suite
@@ -167,7 +168,7 @@ func TestRendezvousRobotSwapSymmetry(t *testing.T) {
 		if direct.Met {
 			// Times are measured in each reference's clock; converting the
 			// swapped time back to global units must agree.
-			if math.Abs(direct.Time-swap.Time*a.Tau) > 1e-6*math.Max(1, direct.Time) {
+			if !testutil.CloseEnough(direct.Time, swap.Time*a.Tau) {
 				t.Errorf("case %d: time %v vs swapped %v", i, direct.Time, swap.Time*a.Tau)
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
 
@@ -31,7 +32,7 @@ func TestSearchExactContactTime(t *testing.T) {
 		t.Fatal("target not found")
 	}
 	want := 2*(math.Pi+1)*(0.5+0.625) + 0.75
-	if math.Abs(res.Time-want) > 1e-9 {
+	if !testutil.CloseEnoughTol(res.Time, want, 1e-9, 0) {
 		t.Errorf("contact at %v, want %v", res.Time, want)
 	}
 	if res.Gap > 0.25+1e-9 {
@@ -175,7 +176,7 @@ func TestRendezvousInfeasibleIdenticalRobots(t *testing.T) {
 	if res.Met {
 		t.Fatalf("identical robots met at t=%v", res.Time)
 	}
-	if math.Abs(res.Gap-1) > 1e-6 {
+	if !testutil.CloseEnough(res.Gap, 1) {
 		t.Errorf("gap at horizon = %v, want exactly d = 1", res.Gap)
 	}
 }
@@ -280,7 +281,7 @@ func TestRendezvousEqualsEquivalentSearch(t *testing.T) {
 	if !rvz.Met || !srch.Met {
 		t.Fatalf("met: rendezvous=%v search=%v", rvz.Met, srch.Met)
 	}
-	if math.Abs(rvz.Time-srch.Time) > 1e-6*math.Max(1, srch.Time) {
+	if !testutil.CloseEnough(rvz.Time, srch.Time) {
 		t.Errorf("rendezvous time %v != equivalent search time %v", rvz.Time, srch.Time)
 	}
 }
@@ -396,7 +397,7 @@ func TestRendezvousAsymmetricWaitingPeer(t *testing.T) {
 		t.Fatal("searching robot failed to find a waiting peer")
 	}
 	want := 2*(math.Pi+1)*(0.5+0.625) + 0.75 // same instant as TestSearchExactContactTime
-	if math.Abs(res.Time-want) > 1e-9 {
+	if !testutil.CloseEnoughTol(res.Time, want, 1e-9, 0) {
 		t.Errorf("contact at %v, want %v", res.Time, want)
 	}
 }
@@ -408,7 +409,7 @@ func TestOdometerSearch(t *testing.T) {
 	if err != nil || !res.Met {
 		t.Fatalf("met=%v err=%v", res.Met, err)
 	}
-	if math.Abs(res.DistanceA-res.Time) > 1e-9 {
+	if !testutil.CloseEnoughTol(res.DistanceA, res.Time, 1e-9, 0) {
 		t.Errorf("DistanceA = %v, want = time %v (unit speed, no waits yet)", res.DistanceA, res.Time)
 	}
 	if res.DistanceB != 0 {

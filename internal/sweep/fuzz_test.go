@@ -1,0 +1,58 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseAxis drives arbitrary specs through the grid parser: it must
+// never panic, every accepted axis must contain only finite values, and the
+// String round trip must re-parse to the same axis.
+func FuzzParseAxis(f *testing.F) {
+	for _, seed := range []string{
+		"v=0.25,0.5,1", "phi=0:3.14:0.5", "r=1:0.25:-0.25", "x=1e-3,2e6",
+		"v=", "=1", "v=1:2", "v=0:1:0", "v=nan", "v=inf", "a=1:1:1",
+		"τ=0.5", "d=-1:-5:-1", "v=0:1e9:1e-6", "v=5:5:1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		a, err := ParseAxis(spec)
+		if err != nil {
+			return
+		}
+		if a.Name == "" {
+			t.Fatalf("ParseAxis(%q) accepted an empty name", spec)
+		}
+		if strings.ContainsAny(a.Name, "=") {
+			t.Fatalf("ParseAxis(%q) name %q contains a delimiter", spec, a.Name)
+		}
+		if len(a.Values) == 0 {
+			t.Fatalf("ParseAxis(%q) accepted an empty value list", spec)
+		}
+		if len(a.Values) > 1_000_001 {
+			t.Fatalf("ParseAxis(%q) expanded past the cap: %d values", spec, len(a.Values))
+		}
+		for _, v := range a.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseAxis(%q) produced non-finite value %v", spec, v)
+			}
+		}
+		// Round trip through the canonical form. Names with commas or
+		// colons could not have been parsed from a valid spec, so String
+		// is guaranteed to be re-parseable.
+		b, err := ParseAxis(a.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", a.String(), spec, err)
+		}
+		if b.Name != a.Name || len(b.Values) != len(a.Values) {
+			t.Fatalf("round trip changed shape: %+v vs %+v", a, b)
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				t.Fatalf("round trip changed value %d: %v vs %v", i, a.Values[i], b.Values[i])
+			}
+		}
+	})
+}
