@@ -1,12 +1,14 @@
 # Developer / CI entry points. `make ci` is what every PR must keep green:
-# vet, build, and the full test suite under the race detector (the sweep
-# engine is concurrent; -race is not optional).
+# vet, build, the full test suite under the race detector (the sweep engine
+# is concurrent; -race is not optional), and the multi-core sweep speedup
+# gate (TestSweepWorkersGate — BenchmarkSweepWorkersMax must beat
+# BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fuzz
+.PHONY: ci vet build test race gate bench fuzz
 
-ci: vet build race
+ci: vet build race gate
 
 vet:
 	$(GO) vet ./...
@@ -20,8 +22,21 @@ test:
 race:
 	$(GO) test -race ./...
 
+gate:
+	$(GO) test -run TestSweepWorkersGate -count 1 -v .
+
+# bench records the full benchmark suite — per-experiment tables, sweep
+# scaling, cache warm/cold, and the simulator hot-path allocation gates
+# (BenchmarkRendezvousHot / BenchmarkRunAllCached) — into BENCH_sim.json so
+# the performance trajectory is tracked across PRs. The intermediate file
+# (rather than a pipe) makes a failing benchmark run abort the recipe before
+# BENCH_sim.json is touched, and the -merge + rename dance preserves the
+# hand-recorded baseline_pre_pr section.
 bench:
-	$(GO) test -run NONE -bench . -benchmem .
+	$(GO) test -run NONE -bench . -benchmem . > BENCH_sim.raw
+	$(GO) run ./cmd/benchjson -merge BENCH_sim.json < BENCH_sim.raw > BENCH_sim.json.tmp
+	mv BENCH_sim.json.tmp BENCH_sim.json
+	rm -f BENCH_sim.raw
 
 # Short fuzz passes over the property-based targets (grid-spec parsing,
 # τ-decomposition, Lambert W).

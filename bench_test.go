@@ -10,12 +10,14 @@ package rendezvous
 // reproduce.
 
 import (
+	"io"
 	"math"
 	"math/rand"
 	"runtime"
 	"testing"
 
 	"repro/internal/algo"
+	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/motion"
@@ -122,7 +124,78 @@ func BenchmarkE1Parallel(b *testing.B) {
 	})
 }
 
+// --- result-cache benchmarks -------------------------------------------
+
+// cachedSuite is the subset of the experiment suite whose simulation work
+// is cache-backed: re-running it over an identical grid with a warm cache
+// must be ≥5× faster than the cold run (the PR's acceptance gate; see
+// BENCH_sim.json for recorded numbers).
+var cachedSuite = []string{"E1", "E3", "E4", "E7", "E8", "E9", "E13", "E15"}
+
+func runCachedSuite(b *testing.B, c *cache.Cache) {
+	b.Helper()
+	cfg := experiments.Config{Workers: 1, Cache: c}
+	for _, id := range cachedSuite {
+		if err := experiments.RunOneCfg(id, io.Discard, false, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunAllCold measures the cache-backed experiment suite with a
+// cold cache every iteration: all simulation work executes.
+func BenchmarkRunAllCold(b *testing.B) {
+	for b.Loop() {
+		runCachedSuite(b, cache.New(0))
+	}
+}
+
+// BenchmarkRunAllCached measures the same suite re-run over the identical
+// grid with a warm shared cache: every simulation is a hit, leaving only
+// table assembly.
+func BenchmarkRunAllCached(b *testing.B) {
+	c := cache.New(0)
+	runCachedSuite(b, c) // prime
+	b.ResetTimer()
+	for b.Loop() {
+		runCachedSuite(b, c)
+	}
+}
+
 // --- engine micro-benchmarks -------------------------------------------
+
+// BenchmarkRendezvousHot is the allocation gate of the simulator hot path:
+// one full simulated rendezvous (Theorem 2 fast path). The pre-PR baseline
+// recorded in BENCH_sim.json is 157 allocs/op; the motion-scratch reuse in
+// internal/sim must keep allocs/op strictly below it.
+func BenchmarkRendezvousHot(b *testing.B) {
+	in := Instance{
+		Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},
+		D:     XY(1, 0),
+		R:     0.25,
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		res, err := Rendezvous(CumulativeSearch(), in, Options{Horizon: 1e4})
+		if err != nil || !res.Met {
+			b.Fatalf("met=%v err=%v", res.Met, err)
+		}
+	}
+}
+
+// BenchmarkSearchHot is the companion allocation gate for the search path,
+// which walks the program without an iter.Pull cursor (pre-PR baseline:
+// 103 allocs/op).
+func BenchmarkSearchHot(b *testing.B) {
+	target := Polar(2, 0.9)
+	b.ReportAllocs()
+	for b.Loop() {
+		res, err := Search(CumulativeSearch(), target, 0.01, Options{Horizon: 1e6})
+		if err != nil || !res.Met {
+			b.Fatalf("met=%v err=%v", res.Met, err)
+		}
+	}
+}
 
 // BenchmarkRendezvousDifferentSpeeds measures one full simulated rendezvous
 // (the Theorem 2 fast path: mostly closed-form contact tests).

@@ -1,0 +1,145 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// document on stdout, so benchmark numbers can be committed (BENCH_sim.json)
+// and diffed across PRs. Lines that are not benchmark results (headers,
+// PASS/ok trailers, logs) are ignored.
+//
+// Usage:
+//
+//	go test -run NONE -bench . -benchmem . | benchjson -merge BENCH_sim.json > new.json
+//
+// -merge FILE carries forward any top-level keys of an existing document
+// that this run does not produce — the hand-recorded baseline_pre_pr
+// section in particular — so regenerating never destroys recorded
+// baselines. A missing FILE is ignored. (Write to a temporary file and
+// rename, as `make bench` does: the shell truncates a direct `> FILE`
+// redirect before -merge can read it.)
+//
+// Output shape:
+//
+//	{
+//	  "goos": "linux", "goarch": "amd64", "cpu": "...",
+//	  "benchmarks": {
+//	    "BenchmarkRendezvousHot": {"runs": 45306, "ns_per_op": 24521,
+//	      "b_per_op": 8096, "allocs_per_op": 157, "rows": 8}
+//	  }
+//	}
+//
+// Custom b.ReportMetric units (e.g. "rows", "instances/op") are included
+// with their unit's leading path element as the key.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	mergePath := flag.String("merge", "", "carry forward unknown top-level keys from this existing JSON document")
+	flag.Parse()
+
+	meta := map[string]string{}
+	benches := map[string]map[string]float64{}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if name, value, ok := strings.Cut(line, ": "); ok && !strings.HasPrefix(name, "Benchmark") {
+			switch name {
+			case "goos", "goarch", "cpu", "pkg":
+				meta[name] = value
+			}
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		// "BenchmarkName-8  1234  56.7 ns/op  96 B/op  2 allocs/op ..."
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the GOMAXPROCS suffix
+			}
+		}
+		runs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		m := map[string]float64{"runs": runs}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			m[metricKey(fields[i+1])] = v
+		}
+		benches[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	out := map[string]any{"benchmarks": benches}
+	for _, k := range []string{"goos", "goarch", "cpu", "pkg"} {
+		if meta[k] != "" {
+			out[k] = meta[k]
+		}
+	}
+	if *mergePath != "" {
+		if err := mergeUnknownKeys(out, *mergePath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// mergeUnknownKeys copies top-level keys this run did not produce (recorded
+// baselines, notes) from the JSON document at path into out. A missing file
+// is not an error.
+func mergeUnknownKeys(out map[string]any, path string) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var prev map[string]any
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return fmt.Errorf("merge %s: %w", path, err)
+	}
+	for k, v := range prev {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return nil
+}
+
+// metricKey normalises a benchmark unit into a JSON key: "ns/op" →
+// "ns_per_op", "B/op" → "b_per_op", "allocs/op" → "allocs_per_op",
+// "instances/op" → "instances_per_op", bare custom units pass through.
+func metricKey(unit string) string {
+	key := strings.ToLower(unit)
+	key = strings.ReplaceAll(key, "/", "_per_")
+	return key
+}

@@ -1,21 +1,37 @@
 // Command experiments regenerates every experiment table of the
 // reproduction: E1-E9 reproduce the paper's quantitative claims (theorem
-// bounds, phase schedules, feasibility grid, baselines) and A1-A3 ablate our
-// own design choices. See DESIGN.md for the per-experiment index and
-// EXPERIMENTS.md for a recorded reference run.
+// bounds, phase schedules, feasibility grid, baselines), E10-E16 are
+// extensions, and A1-A3 ablate our own design choices. See DESIGN.md for
+// the per-experiment index and EXPERIMENTS.md for a recorded reference run.
 //
 // Usage:
 //
 //	experiments [-run ID] [-markdown] [-workers N] [-seed S] [-samples K]
+//	            [-cache] [-cachefile F] [-cachesize N] [-v]
+//	            [-grid spec]... [-gridalgo A]
 //
 //	-run ID       run a single experiment (e.g. E3); empty = all
 //	-markdown     emit GitHub-flavoured markdown instead of text
 //	-workers N    sweep worker-pool size: 0 = one per CPU, 1 = serial.
-//	              Output is bit-identical for every value.
+//	              All experiments share one pool, so N is an exact
+//	              process-wide cap. Output is bit-identical for every value.
 //	-seed S       base seed for Monte-Carlo sampling (per-instance seeds
 //	              are derived from (S, instance index))
-//	-samples K    K > 0 switches the sampling-aware experiments (E1) to
-//	              K random draws per grid cell, with summary statistics
+//	-samples K    K > 0 switches the sampling-aware experiments (E1) and
+//	              grid sweeps to K random draws per grid cell, with
+//	              summary statistics
+//	-cache        memoize simulation results in memory (identical output,
+//	              repeated instances simulate once)
+//	-cachefile F  persist the cache to the JSON-lines file F (implies
+//	              -cache): warm re-runs are near-free
+//	-cachesize N  LRU capacity of the cache (0 = default)
+//	-v            live progress on stderr: jobs done/total, cache
+//	              hits/misses, and a per-job timing summary at the end
+//	-grid spec    sweep a rendezvous parameter axis (repeatable), e.g.
+//	              -grid "v=0.25:1:0.25" -grid "phi=0:3.14:0.1"; axes are
+//	              v, tau, phi, chi, d, r, crossed into one grid and
+//	              rendered as one table instead of the experiment suite
+//	-gridalgo A   algorithm for -grid: "search" (Alg. 4) or "universal"
 //
 // A non-zero exit status means a paper claim failed to reproduce.
 package main
@@ -24,29 +40,118 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"sync"
+	"time"
 
+	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
+// multiFlag collects the values of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var grids multiFlag
 	var (
-		id       = flag.String("run", "", "run a single experiment by id (e.g. E3); empty = all")
-		markdown = flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of text")
-		workers  = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
-		seed     = flag.Int64("seed", 0, "base seed for Monte-Carlo sampling")
-		samples  = flag.Int("samples", 0, "Monte-Carlo draws per grid cell (0 = deterministic grids)")
+		id        = flag.String("run", "", "run a single experiment by id (e.g. E3); empty = all")
+		markdown  = flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of text")
+		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
+		seed      = flag.Int64("seed", 0, "base seed for Monte-Carlo sampling")
+		samples   = flag.Int("samples", 0, "Monte-Carlo draws per grid cell (0 = deterministic grids)")
+		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
+		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
+		cacheSize = flag.Int("cachesize", 0, "LRU capacity of the result cache (0 = default)")
+		verbose   = flag.Bool("v", false, "live sweep progress and timing summary on stderr")
+		gridAlgo  = flag.String("gridalgo", "search", `algorithm for -grid sweeps: "search" or "universal"`)
 	)
+	flag.Var(&grids, "grid", `sweep axis "name=v1,v2,..." or "name=lo:hi:step" (repeatable)`)
 	flag.Parse()
 
 	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples}
+
+	if *cacheFile != "" {
+		c, err := cache.Open(*cacheFile, *cacheSize)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		cfg.Cache = c
+	} else if *useCache {
+		cfg.Cache = cache.New(*cacheSize)
+	}
+
+	var finishProgress func()
+	if *verbose {
+		cfg.Monitor, finishProgress = stderrProgress(cfg.Cache)
+	}
+
 	var err error
-	if *id == "" {
+	switch {
+	case len(grids) > 0:
+		err = experiments.RunGridCfg(os.Stdout, *markdown, grids, *gridAlgo, cfg)
+	case *id == "":
 		err = experiments.RunAllCfg(os.Stdout, *markdown, cfg)
-	} else {
+	default:
 		err = experiments.RunOneCfg(*id, os.Stdout, *markdown, cfg)
+	}
+	if finishProgress != nil {
+		finishProgress()
+	}
+	if cfg.Cache != nil {
+		if serr := cfg.Cache.Save(); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// stderrProgress returns a sweep monitor that keeps one live progress line
+// on stderr — jobs done/total plus the cache counters — and a finisher that
+// prints the terminal per-job timing summary.
+func stderrProgress(c *cache.Cache) (*sweep.Monitor, func()) {
+	mon := &sweep.Monitor{}
+	var mu sync.Mutex
+	var lastPrint time.Time
+	line := func(done, total int64) string {
+		s := fmt.Sprintf("jobs %d/%d", done, total)
+		if c != nil {
+			st := c.Stats()
+			s += fmt.Sprintf("  cache %d hits / %d misses", st.Hits, st.Misses)
+		}
+		return s
+	}
+	mon.OnChange = func(done, total int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(lastPrint) < 100*time.Millisecond && done != total {
+			return
+		}
+		lastPrint = time.Now()
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s", line(done, total))
+	}
+	return mon, func() {
+		done, total := mon.Progress()
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s\n", line(done, total))
+		if times := mon.Durations(); len(times) > 0 {
+			fmt.Fprintf(os.Stderr, "job times (s): %v\n", analysis.Summarize(times))
+		}
 	}
 }

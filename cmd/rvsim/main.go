@@ -26,6 +26,15 @@
 //	-seed int     base seed for the Monte-Carlo sweep (default 0)
 //	-workers int  sweep worker-pool size: 0 = one per CPU, 1 = serial
 //
+// With -cache the simulation results are memoized in memory (see
+// internal/cache); -cachefile F additionally persists them to the
+// JSON-lines file F, so re-running the same sweep — any -workers value —
+// is served from disk instead of re-simulated. Output is identical with
+// caching on or off.
+//
+//	-cache          memoize simulation results in memory
+//	-cachefile F    persist the result cache to F (implies -cache)
+//
 // Exit status 0 when the robots meet (all sampled instances in sweep mode),
 // 1 on error, 2 when the horizon is reached without a meeting (any sampled
 // instance in sweep mode).
@@ -40,6 +49,7 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/cache"
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/plot"
@@ -52,7 +62,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		v         = flag.Float64("v", 0.5, "speed of R′")
 		tau       = flag.Float64("tau", 1, "clock unit of R′")
@@ -69,8 +79,31 @@ func run() int {
 		samples   = flag.Int("samples", 1, "Monte-Carlo instances with random φ and displacement direction (1 = single instance)")
 		seed      = flag.Int64("seed", 0, "base seed for the Monte-Carlo sweep")
 		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
+		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
+		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
 	)
 	flag.Parse()
+
+	var memo *cache.Cache // nil (no caching) unless requested
+	if *cacheFile != "" {
+		var err error
+		if memo, err = cache.Open(*cacheFile, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "rvsim:", err)
+			return 1
+		}
+	} else if *useCache {
+		memo = cache.New(0)
+	}
+	defer func() {
+		// A failed persist must not exit 0: the "warm" re-run the user
+		// asked for would silently re-simulate everything.
+		if err := memo.Save(); err != nil {
+			fmt.Fprintln(os.Stderr, "rvsim:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	in := rendezvous.Instance{
 		Attrs: rendezvous.Attributes{V: *v, Tau: *tau, Phi: *phi, Chi: rendezvous.Chirality(*chi)},
@@ -83,11 +116,12 @@ func run() int {
 	}
 
 	var mkProgram func() rendezvous.Trajectory
+	var programID string
 	switch *algoArg {
 	case "universal":
-		mkProgram = rendezvous.Universal
+		mkProgram, programID = rendezvous.Universal, "alg7"
 	case "search":
-		mkProgram = rendezvous.CumulativeSearch
+		mkProgram, programID = rendezvous.CumulativeSearch, "alg4"
 	default:
 		fmt.Fprintf(os.Stderr, "rvsim: unknown algorithm %q\n", *algoArg)
 		return 1
@@ -97,7 +131,7 @@ func run() int {
 		if *traceOut != "" || *plotOut {
 			fmt.Fprintln(os.Stderr, "rvsim: -trace/-plot apply to single instances only; ignored with -samples > 1")
 		}
-		return runMonteCarlo(mkProgram, in, *samples, *seed, *workers, *horizon)
+		return runMonteCarlo(memo, programID, mkProgram, in, *samples, *seed, *workers, *horizon)
 	}
 	program := mkProgram()
 
@@ -118,7 +152,7 @@ func run() int {
 			h = 1e6
 		}
 	}
-	res, err := rendezvous.Rendezvous(program, in, rendezvous.Options{Horizon: h})
+	res, err := memo.Rendezvous(programID, mkProgram, in, rendezvous.Options{Horizon: h})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvsim:", err)
 		return 1
@@ -166,7 +200,9 @@ func run() int {
 // displacement direction (keeping |d|) from its private per-index RNG, so
 // the sweep reproduces exactly for a fixed seed at any worker count. It
 // prints the meeting fraction and summary statistics of the meeting times.
-func runMonteCarlo(mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64) int {
+// With a cache (memo non-nil), repeated instances — same seed re-runs via
+// -cachefile in particular — are served without re-simulating.
+func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64) int {
 	type outcome struct {
 		met  bool
 		time float64
@@ -183,7 +219,7 @@ func runMonteCarlo(mkProgram func() rendezvous.Trajectory, base rendezvous.Insta
 				h = 1e6
 			}
 		}
-		res, err := rendezvous.Rendezvous(mkProgram(), in, rendezvous.Options{Horizon: h})
+		res, err := memo.Rendezvous(programID, mkProgram, in, rendezvous.Options{Horizon: h})
 		if err != nil {
 			return outcome{}, fmt.Errorf("sample %d (φ=%.4g): %w", i, in.Attrs.Phi, err)
 		}

@@ -1,0 +1,89 @@
+package algo
+
+import (
+	"math"
+)
+
+// This file replays the *duration sequence* of the algorithm streams without
+// generating the streams themselves.
+//
+// E5 measures the phase schedule of Algorithm 7 by accumulating segment
+// durations over the stream — a strict left-to-right float64 fold, so the
+// measured values depend on the exact order of additions. Walking the real
+// segment stream pays iterator and allocation overhead on every one of the
+// O(4ⁿ) segments. The folds below perform the *same additions in the same
+// order* — every duration is produced by the same segment constructor with
+// the same arguments as the stream would use — so the elapsed times are
+// bit-identical to a cumulative stream walk, at a fraction of the cost, and
+// each round's prefix can be recomputed independently. That independence is
+// what lets E5 decompose into one parallel job per round instead of one
+// serial walk of the whole stream.
+
+// foldSearchCircle adds the segment durations of SearchCircle(delta) to e in
+// stream order. The constructor arithmetic collapses bit-for-bit to closed
+// forms — UnitLine(0, (δ,0)).Duration() = hypot(δ,0)/1 = δ exactly, and
+// FullCircle(0, δ, 0).Duration() = δ·|2π|/1 = δ·(2π) exactly (2π is the
+// same constant the Arc carries as Sweep) — so the fold adds them directly
+// instead of building segments; the identity is pinned against the real
+// stream by TestUniversalPhaseStartMatchesStreamWalk.
+func foldSearchCircle(e, delta float64) float64 {
+	e += delta
+	e += delta * (2 * math.Pi)
+	e += delta
+	return e
+}
+
+// foldSearchAnnulus adds the segment durations of
+// SearchAnnulus(delta1, delta2, rho) to e in stream order.
+func foldSearchAnnulus(e, delta1, delta2, rho float64) float64 {
+	m := AnnulusCircleCount(delta1, delta2, rho)
+	for i := 0; i <= m; i++ {
+		e = foldSearchCircle(e, delta1+2*float64(i)*rho)
+	}
+	return e
+}
+
+// foldSearchRound adds the segment durations of SearchRound(k) to e in
+// stream order, including the final wait (a Wait's duration is its
+// constructor argument, so FinalWait(k) adds directly).
+func foldSearchRound(e float64, k int) float64 {
+	for j := 0; j <= 2*k-1; j++ {
+		delta, rho := RoundAnnulus(j, k)
+		e = foldSearchAnnulus(e, delta, 2*delta, rho)
+	}
+	return e + FinalWait(k)
+}
+
+// foldSearchAll adds the segment durations of SearchAll(n) to e in stream
+// order.
+func foldSearchAll(e float64, n int) float64 {
+	for k := 1; k <= n; k++ {
+		e = foldSearchRound(e, k)
+	}
+	return e
+}
+
+// foldSearchAllRev adds the segment durations of SearchAllRev(n) to e in
+// stream order.
+func foldSearchAllRev(e float64, n int) float64 {
+	for k := n; k >= 1; k-- {
+		e = foldSearchRound(e, k)
+	}
+	return e
+}
+
+// UniversalPhaseStart replays the duration fold of Algorithm 7's stream from
+// its beginning and returns the measured start times of round n's inactive
+// and active phases: exactly the elapsed values a cumulative walk of
+// Universal()'s segments observes when the round-n wait begins and ends
+// (same float64 additions in the same order), computed without generating a
+// single segment. Cost is O(4ⁿ) float operations.
+func UniversalPhaseStart(n int) (inactive, active float64) {
+	e := 0.0
+	for k := 1; k < n; k++ {
+		e += 2 * SearchAllDuration(k) // the round-k inactive wait
+		e = foldSearchAll(e, k)
+		e = foldSearchAllRev(e, k)
+	}
+	return e, e + 2*SearchAllDuration(n)
+}

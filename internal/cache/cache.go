@@ -1,0 +1,307 @@
+// Package cache memoizes simulation results so that repeated sweeps — RunAll
+// re-runs, overlapping grids, Monte-Carlo batches that revisit the same
+// instances — are served from memory (or disk) instead of re-simulated.
+//
+// # Keys and canonicalization
+//
+// A cache entry is keyed by the canonical fingerprint of one simulation
+// instance: the kind of simulation ("search", "rendezvous", "asym",
+// "meeting"), the identity of the trajectory program(s), the quantized
+// instance parameters (attributes {v, τ, φ, χ}, displacement, visibility
+// radius), and the quantized simulation options (horizon, slack, iteration
+// budget). Program identity is a caller-chosen string — e.g. "alg4" for
+// Algorithm 4, "alg7" for the universal algorithm, "known:0.25" for a
+// parameterised baseline — and must change whenever the generated trajectory
+// does; two different programs sharing an identity would alias each other's
+// results.
+//
+// # Float quantization
+//
+// Float parameters enter the key through Quantize, which clears the
+// QuantBits least-significant bits of the float64 mantissa — a bucket spans
+// 2^QuantBits ulps, i.e. up to 2^(QuantBits−52) ≈ 9.1e−13 relative (twice
+// that just above a power of two) for QuantBits = 12. Values that agree
+// more tightly than a bucket share an entry. The
+// quantization is a pure truncation of the bit pattern: it never crosses a
+// power of two, maps every float to a nearby representable float64, and
+// keeps sign, infinity, and zero distinctions. The simulator is exact, so
+// instances that differ by less than a bucket produce results that agree to
+// the same precision as the parameters themselves; experiment grids space
+// their parameters far coarser than a bucket, so collisions between
+// *intentionally distinct* instances cannot occur there.
+//
+// All methods are safe for concurrent use; the compute-through helpers are
+// additionally nil-receiver safe (a nil *Cache simply computes), so callers
+// can thread an optional cache without branching.
+package cache
+
+import (
+	"container/list"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/trajectory"
+)
+
+// QuantBits is the number of low-order mantissa bits cleared by Quantize:
+// key buckets are 2^QuantBits ulps ≈ 9.1e−13 wide in relative terms.
+const QuantBits = 12
+
+// DefaultCapacity is the LRU capacity selected by New(0): at ~100 bytes an
+// entry, about 6 MB of results.
+const DefaultCapacity = 1 << 16
+
+// Quantize returns the bit pattern of x with the QuantBits least-significant
+// mantissa bits cleared — the canonical representative of x's key bucket.
+func Quantize(x float64) uint64 {
+	const low = uint64(1)<<QuantBits - 1
+	return math.Float64bits(x) &^ low
+}
+
+// Key is the canonical fingerprint of one simulation instance. Unused
+// fields stay zero (e.g. attributes for a plain search). Keys are value
+// types and valid map keys.
+type Key struct {
+	Kind    string // "search", "rendezvous", "asym", "meeting"
+	Program string // program identity; for two-program kinds "a|b"
+	V       uint64 // quantized attribute bits of R′
+	Tau     uint64
+	Phi     uint64
+	Chi     int
+	DX, DY  uint64 // quantized displacement (or search target)
+	R       uint64 // quantized visibility radius
+	Horizon uint64 // quantized sim.Options
+	Slack   uint64
+	Iters   int
+}
+
+// SearchKey fingerprints a sim.Search call.
+func SearchKey(program string, target geom.Vec, r float64, opt sim.Options) Key {
+	return Key{
+		Kind:    "search",
+		Program: program,
+		DX:      Quantize(target.X),
+		DY:      Quantize(target.Y),
+		R:       Quantize(r),
+		Horizon: Quantize(opt.Horizon),
+		Slack:   Quantize(opt.Slack),
+		Iters:   opt.MaxIters,
+	}
+}
+
+// RendezvousKey fingerprints a sim.Rendezvous call.
+func RendezvousKey(program string, in sim.Instance, opt sim.Options) Key {
+	k := instanceKey(in, opt)
+	k.Kind, k.Program = "rendezvous", program
+	return k
+}
+
+// AsymmetricKey fingerprints a sim.RendezvousAsymmetric call.
+func AsymmetricKey(programA, programB string, in sim.Instance, opt sim.Options) Key {
+	k := instanceKey(in, opt)
+	k.Kind, k.Program = "asym", programA+"|"+programB
+	return k
+}
+
+// MeetingKey fingerprints a sim.FirstMeeting call between two explicit
+// global-frame trajectories. The id must identify both trajectories
+// completely (programs, frames, displacements, fault schedules, ...): the
+// key carries only the visibility radius and options beside it.
+func MeetingKey(id string, r float64, opt sim.Options) Key {
+	return Key{
+		Kind:    "meeting",
+		Program: id,
+		R:       Quantize(r),
+		Horizon: Quantize(opt.Horizon),
+		Slack:   Quantize(opt.Slack),
+		Iters:   opt.MaxIters,
+	}
+}
+
+func instanceKey(in sim.Instance, opt sim.Options) Key {
+	return Key{
+		V:       Quantize(in.Attrs.V),
+		Tau:     Quantize(in.Attrs.Tau),
+		Phi:     Quantize(in.Attrs.Phi),
+		Chi:     int(in.Attrs.Chi),
+		DX:      Quantize(in.D.X),
+		DY:      Quantize(in.D.Y),
+		R:       Quantize(in.R),
+		Horizon: Quantize(opt.Horizon),
+		Slack:   Quantize(opt.Slack),
+		Iters:   opt.MaxIters,
+	}
+}
+
+// Cache is a concurrency-safe LRU memoizer of simulation results with an
+// optional on-disk layer (see Open).
+type Cache struct {
+	hits, misses atomic.Uint64
+
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	index map[Key]*list.Element
+	path  string // "" = memory only
+}
+
+type entry struct {
+	key Key
+	res sim.Result
+}
+
+// New returns an in-memory cache holding at most capacity results
+// (capacity ≤ 0 selects DefaultCapacity).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:   capacity,
+		ll:    list.New(),
+		index: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached result for k, marking it most recently used.
+// A nil receiver always misses without counting.
+func (c *Cache) Get(k Key) (sim.Result, bool) {
+	if c == nil {
+		return sim.Result{}, false
+	}
+	c.mu.Lock()
+	el, ok := c.index[k]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return sim.Result{}, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*entry).res, true
+}
+
+// Put stores the result for k, evicting the least recently used entry when
+// the cache is full. A nil receiver is a no-op.
+func (c *Cache) Put(k Key, res sim.Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		el.Value.(*entry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[k] = c.ll.PushFront(&entry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.index, oldest.Value.(*entry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses uint64
+	Len, Cap     int
+}
+
+// Stats returns the current hit/miss counters and occupancy. A nil receiver
+// reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	n := c.ll.Len()
+	capacity := c.cap
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Len: n, Cap: capacity}
+}
+
+// Search is sim.Search memoized under SearchKey. Only successful results
+// are cached; errors always propagate from a fresh computation.
+func (c *Cache) Search(program string, mk func() trajectory.Source, target geom.Vec, r float64, opt sim.Options) (sim.Result, error) {
+	if c == nil {
+		return sim.Search(mk(), target, r, opt)
+	}
+	k := SearchKey(program, target, r, opt)
+	if res, ok := c.Get(k); ok {
+		return res, nil
+	}
+	res, err := sim.Search(mk(), target, r, opt)
+	if err != nil {
+		return res, err
+	}
+	c.Put(k, res)
+	return res, nil
+}
+
+// Rendezvous is sim.Rendezvous memoized under RendezvousKey.
+func (c *Cache) Rendezvous(program string, mk func() trajectory.Source, in sim.Instance, opt sim.Options) (sim.Result, error) {
+	if c == nil {
+		return sim.Rendezvous(mk(), in, opt)
+	}
+	k := RendezvousKey(program, in, opt)
+	if res, ok := c.Get(k); ok {
+		return res, nil
+	}
+	res, err := sim.Rendezvous(mk(), in, opt)
+	if err != nil {
+		return res, err
+	}
+	c.Put(k, res)
+	return res, nil
+}
+
+// Asymmetric is sim.RendezvousAsymmetric memoized under AsymmetricKey.
+func (c *Cache) Asymmetric(programA, programB string, mkA, mkB func() trajectory.Source, in sim.Instance, opt sim.Options) (sim.Result, error) {
+	if c == nil {
+		return sim.RendezvousAsymmetric(mkA(), mkB(), in, opt)
+	}
+	k := AsymmetricKey(programA, programB, in, opt)
+	if res, ok := c.Get(k); ok {
+		return res, nil
+	}
+	res, err := sim.RendezvousAsymmetric(mkA(), mkB(), in, opt)
+	if err != nil {
+		return res, err
+	}
+	c.Put(k, res)
+	return res, nil
+}
+
+// FirstMeeting is sim.FirstMeeting memoized under MeetingKey. The id must
+// identify both trajectories completely — see MeetingKey.
+func (c *Cache) FirstMeeting(id string, mkA, mkB func() trajectory.Source, r float64, opt sim.Options) (sim.Result, error) {
+	if c == nil {
+		return sim.FirstMeeting(mkA(), mkB(), r, opt)
+	}
+	k := MeetingKey(id, r, opt)
+	if res, ok := c.Get(k); ok {
+		return res, nil
+	}
+	res, err := sim.FirstMeeting(mkA(), mkB(), r, opt)
+	if err != nil {
+		return res, err
+	}
+	c.Put(k, res)
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+)
+
+func testInstance(v float64) sim.Instance {
+	return sim.Instance{
+		Attrs: frame.Attributes{V: v, Tau: 1, Phi: 0, Chi: frame.CCW},
+		D:     geom.V(1, 0),
+		R:     0.25,
+	}
+}
+
+// TestHitMissAccounting: a fresh key misses and computes; the same key hits
+// and returns the identical result without recomputing.
+func TestHitMissAccounting(t *testing.T) {
+	c := New(16)
+	opt := sim.Options{Horizon: 1e4}
+	first, err := c.Rendezvous("alg4", algo.CumulativeSearch, testInstance(0.5), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 || s.Len != 1 {
+		t.Fatalf("after cold call: %+v, want 0 hits / 1 miss / 1 entry", s)
+	}
+	second, err := c.Rendezvous("alg4", algo.CumulativeSearch, testInstance(0.5), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("after warm call: %+v, want 1 hit / 1 miss", s)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("cached result differs from computed: %+v vs %+v", second, first)
+	}
+	// A different program identity must not alias.
+	if _, err := c.Rendezvous("alg7", algo.Universal, testInstance(0.5), sim.Options{Horizon: 1e5}); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 2 {
+		t.Fatalf("distinct program hit the alg4 entry: %+v", s)
+	}
+}
+
+// TestNilCacheComputes: the nil receiver computes through and reports zero
+// stats, so callers can thread an optional cache unconditionally.
+func TestNilCacheComputes(t *testing.T) {
+	var c *Cache
+	res, err := c.Rendezvous("alg4", algo.CumulativeSearch, testInstance(0.5), sim.Options{Horizon: 1e4})
+	if err != nil || !res.Met {
+		t.Fatalf("nil cache: met=%v err=%v", res.Met, err)
+	}
+	if s := c.Stats(); s != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", s)
+	}
+	c.Put(Key{Kind: "x"}, sim.Result{})
+	if _, ok := c.Get(Key{Kind: "x"}); ok {
+		t.Error("nil cache stored an entry")
+	}
+	if err := c.Save(); err != nil {
+		t.Errorf("nil Save: %v", err)
+	}
+}
+
+// TestLRUEviction: the capacity bounds the entry count and the least
+// recently *used* (not inserted) entry is evicted first.
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	key := func(i int) Key { return Key{Kind: "search", Program: fmt.Sprint(i)} }
+	for i := 0; i < 3; i++ {
+		c.Put(key(i), sim.Result{Time: float64(i)})
+	}
+	// Touch 0 so 1 becomes the LRU victim.
+	if _, ok := c.Get(key(0)); !ok {
+		t.Fatal("entry 0 missing before eviction")
+	}
+	c.Put(key(3), sim.Result{Time: 3})
+	if c.Len() != 3 {
+		t.Fatalf("capacity 3 holds %d entries", c.Len())
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Error("LRU entry 1 survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Errorf("entry %d evicted out of LRU order", i)
+		}
+	}
+}
+
+// TestDiskRoundTrip: Save + Open reproduce every entry bit-exactly, and a
+// warm disk cache serves hits without recomputation.
+func TestDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	c, err := Open(path, 0) // missing file: empty cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{Horizon: 1e4}
+	want := make(map[float64]sim.Result)
+	for _, v := range []float64{0.25, 0.5, 0.75} {
+		res, err := c.Rendezvous("alg4", algo.CumulativeSearch, testInstance(v), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[v] = res
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 3 {
+		t.Fatalf("reloaded %d entries, want 3", re.Len())
+	}
+	for v, exp := range want {
+		got, err := re.Rendezvous("alg4", algo.CumulativeSearch, testInstance(v), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, exp) {
+			t.Errorf("v=%v: disk round-trip changed the result: %+v vs %+v", v, got, exp)
+		}
+	}
+	if s := re.Stats(); s.Hits != 3 || s.Misses != 0 {
+		t.Errorf("reloaded cache recomputed: %+v", s)
+	}
+}
+
+// TestQuantize pins the bucketing rules the package doc documents.
+func TestQuantize(t *testing.T) {
+	if Quantize(1.0) != Quantize(1.0+1e-15) {
+		t.Error("values 1e-15 apart landed in different buckets")
+	}
+	if Quantize(1.0) == Quantize(1.0+1e-9) {
+		t.Error("values 1e-9 apart collided")
+	}
+	if Quantize(1.0) == Quantize(-1.0) {
+		t.Error("sign ignored")
+	}
+	if Quantize(math.Inf(1)) == Quantize(math.MaxFloat64) {
+		t.Error("infinity collided with a finite value")
+	}
+}
+
+// TestConcurrentAccess exercises the locking under -race.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key{Kind: "search", Program: fmt.Sprint(i % 100)}
+				c.Put(k, sim.Result{Time: float64(i)})
+				c.Get(k)
+				c.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("capacity exceeded: %d", c.Len())
+	}
+}

@@ -1,0 +1,106 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// The on-disk layer is a JSON-lines file: one {"k": Key, "r": Result}
+// object per line, oldest entry first. Go's JSON encoder emits the shortest
+// decimal representation of every float64, which round-trips bit-exactly,
+// so a result served from disk is indistinguishable from a fresh
+// simulation. Malformed lines (a truncated tail after a crash, say) are
+// skipped rather than fatal: the cache is an accelerator, never a source of
+// truth.
+
+type diskEntry struct {
+	K Key        `json:"k"`
+	R sim.Result `json:"r"`
+}
+
+// Open returns a cache backed by the JSON-lines file at path, loading any
+// entries already there (a missing file is an empty cache, not an error).
+// Call Save to persist the current contents back.
+func Open(path string, capacity int) (*Cache, error) {
+	c := New(capacity)
+	c.path = path
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("cache: open %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var e diskEntry
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue // damaged line: skip, do not fail the run
+		}
+		c.Put(e.K, e.R)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cache: read %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Path returns the disk layer's file path ("" for a memory-only cache).
+func (c *Cache) Path() string {
+	if c == nil {
+		return ""
+	}
+	return c.path
+}
+
+// Save writes the cache contents to the disk layer, least recently used
+// first so a reload reconstructs the same eviction order. It writes to a
+// temporary file and renames, so a concurrent reader never observes a
+// partial file. Memory-only caches (and nil receivers) are a no-op.
+func (c *Cache) Save() error {
+	if c == nil || c.path == "" {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make([]diskEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		entries = append(entries, diskEntry{K: e.key, R: e.res})
+	}
+	c.mu.Unlock()
+
+	dir := filepath.Dir(c.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cache: save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return fmt.Errorf("cache: save: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("cache: save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("cache: save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return fmt.Errorf("cache: save: %w", err)
+	}
+	return nil
+}

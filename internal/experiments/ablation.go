@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/bounds"
@@ -13,10 +14,14 @@ import (
 	"repro/internal/trajectory"
 )
 
-// A1FixedStepDetector ablates the simulator's safe-advance contact detector
-// against naive fixed-step sampling: coarse steps miss grazing contacts that
-// the conservative scheme cannot miss.
-func A1FixedStepDetector() (Table, error) {
+// A1FixedStepDetector ablates the detector with the default config.
+func A1FixedStepDetector() (Table, error) { return A1FixedStepDetectorCfg(Config{}) }
+
+// A1FixedStepDetectorCfg ablates the simulator's safe-advance contact
+// detector against naive fixed-step sampling: coarse steps miss grazing
+// contacts that the conservative scheme cannot miss. Every detector
+// configuration is an independent sweep job.
+func A1FixedStepDetectorCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "A1",
 		Title:   "safe-advance detection vs. fixed-step sampling",
@@ -29,60 +34,83 @@ func A1FixedStepDetector() (Table, error) {
 	b := motion.Static(geom.Zero)
 	const r, t0, t1 = 1.0, 0.0, 100.0
 
+	var jobs []rowJob
 	// Fixed-step sampling at several resolutions.
 	for _, step := range []float64{5, 1, 0.25} {
-		hit, n := math.NaN(), 0
-		found := false
-		for x := t0; x <= t1; x += step {
-			n++
-			if a.At(x).Dist(b.At(x)) <= r {
-				hit, found = x, true
-				break
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			hit, n := math.NaN(), 0
+			found := false
+			for x := t0; x <= t1; x += step {
+				n++
+				if a.At(x).Dist(b.At(x)) <= r {
+					hit, found = x, true
+					break
+				}
 			}
-		}
-		t.AddRow(fmt.Sprintf("fixed %.4g", step), boolMark(found), fmt.Sprintf("%.6g", hit), n)
+			return []any{fmt.Sprintf("fixed %.4g", step), boolMark(found),
+				fmt.Sprintf("%.6g", hit), n}, nil
+		})
 	}
 	// Safe advance (production path, forced through the conservative code).
-	af := motion.Func{F: a.At, Bound: a.SpeedBound()}
-	steps := 0
-	counting := motion.Func{F: func(x float64) geom.Vec { steps++; return b.At(x) }, Bound: 0}
-	hit, found, err := motion.FirstContact(af, counting, r, t0, t1,
-		motion.Options{Slack: 1e-9, MaxIters: 10_000_000})
-	if err != nil {
-		return t, fmt.Errorf("A1: %w", err)
+	jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+		af := motion.Func{F: a.At, Bound: a.SpeedBound()}
+		steps := 0
+		counting := motion.Func{F: func(x float64) geom.Vec { steps++; return b.At(x) }, Bound: 0}
+		hit, found, err := motion.FirstContact(af, counting, r, t0, t1,
+			motion.Options{Slack: 1e-9, MaxIters: 10_000_000})
+		if err != nil {
+			return nil, fmt.Errorf("A1: %w", err)
+		}
+		return []any{"safe-advance", boolMark(found), fmt.Sprintf("%.6g", hit), steps}, nil
+	})
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
-	t.AddRow("safe-advance", boolMark(found), fmt.Sprintf("%.6g", hit), steps)
 	t.Notes = append(t.Notes,
 		"the grazing contact (closest approach = r at t=50) is invisible to coarse fixed steps;",
 		"safe advance always detects it, spending steps only near the close approach")
 	return t, nil
 }
 
-// A2NoFinalWait ablates the final wait of Search(k): without it the round
-// durations fall below the closed forms the Section 4 phase lemmas assume.
-func A2NoFinalWait() (Table, error) {
+// A2NoFinalWait ablates the final wait with the default config.
+func A2NoFinalWait() (Table, error) { return A2NoFinalWaitCfg(Config{}) }
+
+// A2NoFinalWaitCfg ablates the final wait of Search(k): without it the
+// round durations fall below the closed forms the Section 4 phase lemmas
+// assume. One sweep job per round.
+func A2NoFinalWaitCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "A2",
 		Title:   "Search(k) with and without the final wait",
 		Source:  "Algorithm 3 (the wait 'simplifies algebra')",
 		Columns: []string{"k", "with wait", "closed form", "without wait", "drift"},
 	}
+	var jobs []rowJob
 	for k := 1; k <= 6; k++ {
-		with := trajectory.Duration(algo.SearchRound(k))
-		without := trajectory.Duration(algo.SearchRoundNoWait(k))
-		closed := bounds.SearchRoundTime(k)
-		t.AddRow(k, with, closed, without, with-without)
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			with := trajectory.Duration(algo.SearchRound(k))
+			without := trajectory.Duration(algo.SearchRoundNoWait(k))
+			closed := bounds.SearchRoundTime(k)
+			return []any{k, with, closed, without, with - without}, nil
+		})
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"the drift equals FinalWait(k) = 3(π+1)(2^k+2^(−k)); without it I(n)/A(n) of Lemma 8 are wrong")
 	return t, nil
 }
 
-// A3NoReversePass ablates the SearchAllRev pass of Algorithm 7, replacing it
-// with an equal-length wait, and compares rendezvous times across clock
-// ratios: the Lemma 10 regimes (t > 2/3) depend on the active phase's tail
-// revisiting the origin's neighbourhood.
-func A3NoReversePass() (Table, error) {
+// A3NoReversePass ablates Algorithm 7 with the default config.
+func A3NoReversePass() (Table, error) { return A3NoReversePassCfg(Config{}) }
+
+// A3NoReversePassCfg ablates the SearchAllRev pass of Algorithm 7,
+// replacing it with an equal-length wait, and compares rendezvous times
+// across clock ratios: the Lemma 10 regimes (t > 2/3) depend on the active
+// phase's tail revisiting the origin's neighbourhood. Every clock ratio is
+// an independent, cache-backed sweep job.
+func A3NoReversePassCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "A3",
 		Title:   "Algorithm 7 structural ablations",
@@ -91,23 +119,36 @@ func A3NoReversePass() (Table, error) {
 	}
 	const d, r = 1.0, 0.25
 	const horizon = 3e5
+	variants := []struct {
+		id string
+		mk func() trajectory.Source
+	}{
+		{"alg7", algo.Universal},
+		{"alg7-norev", algo.UniversalNoRev},
+		{"alg7-noinactive", algo.UniversalNoInactive},
+	}
+	var jobs []rowJob
 	for _, tau := range []float64{0.5, 0.7, 0.9} {
-		in := sim.Instance{
-			Attrs: frame.Attributes{V: 1, Tau: tau, Phi: 0, Chi: frame.CCW},
-			D:     geom.V(d, 0),
-			R:     r,
-		}
-		cells := make([]string, 0, 3)
-		for _, variant := range []func() trajectory.Source{
-			algo.Universal, algo.UniversalNoRev, algo.UniversalNoInactive,
-		} {
-			res, err := sim.Rendezvous(variant(), in, sim.Options{Horizon: horizon})
-			if err != nil {
-				return t, fmt.Errorf("A3 τ=%v: %w", tau, err)
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			in := sim.Instance{
+				Attrs: frame.Attributes{V: 1, Tau: tau, Phi: 0, Chi: frame.CCW},
+				D:     geom.V(d, 0),
+				R:     r,
 			}
-			cells = append(cells, metCell(res))
-		}
-		t.AddRow(tau, cells[0], cells[1], cells[2])
+			cells := make([]any, 0, 4)
+			cells = append(cells, tau)
+			for _, v := range variants {
+				res, err := cfg.Cache.Rendezvous(v.id, v.mk, in, sim.Options{Horizon: horizon})
+				if err != nil {
+					return nil, fmt.Errorf("A3 τ=%v: %w", tau, err)
+				}
+				cells = append(cells, metCell(res))
+			}
+			return cells, nil
+		})
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"variants keep the exact round schedule where possible, isolating each structural element;",

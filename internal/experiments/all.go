@@ -15,17 +15,11 @@ type Runner struct {
 	Run func(Config) (Table, error)
 }
 
-// lift adapts an experiment that has no swept grid (or predates the sweep
-// engine) to the config-taking runner signature.
-func lift(f func() (Table, error)) func(Config) (Table, error) {
-	return func(Config) (Table, error) { return f() }
-}
-
 // All returns every experiment in presentation order: E1-E9 reproduce the
-// paper's quantitative claims; A1-A3 are ablations of our design choices.
-// E1-E9 fan their parameter grids out through internal/sweep and honour
-// Config; the extension experiments E10-E16 and ablations still run their
-// small fixed casework serially.
+// paper's quantitative claims; E10-E16 are extensions; A1-A3 are ablations
+// of our design choices. Every experiment fans its casework out through
+// internal/sweep and honours Config, so "-workers" (and RunAllCfg's shared
+// pool) covers the entire suite.
 func All() []Runner {
 	return []Runner{
 		{"E1", E1SearchScalingCfg},
@@ -37,16 +31,16 @@ func All() []Runner {
 		{"E7", E7UniversalRoundsCfg},
 		{"E8", E8FeasibilityCfg},
 		{"E9", E9BaselinesCfg},
-		{"E10", lift(E10Gathering)},
-		{"E11", lift(E11LineVsPlane)},
-		{"E12", lift(E12Coverage)},
-		{"E13", lift(E13CompetitiveRatio)},
-		{"E14", lift(E14FaultInjection)},
-		{"E15", lift(E15PriceOfSymmetry)},
-		{"E16", lift(E16VariableSpeed)},
-		{"A1", lift(A1FixedStepDetector)},
-		{"A2", lift(A2NoFinalWait)},
-		{"A3", lift(A3NoReversePass)},
+		{"E10", E10GatheringCfg},
+		{"E11", E11LineVsPlaneCfg},
+		{"E12", E12CoverageCfg},
+		{"E13", E13CompetitiveRatioCfg},
+		{"E14", E14FaultInjectionCfg},
+		{"E15", E15PriceOfSymmetryCfg},
+		{"E16", E16VariableSpeedCfg},
+		{"A1", A1FixedStepDetectorCfg},
+		{"A2", A2NoFinalWaitCfg},
+		{"A3", A3NoReversePassCfg},
 	}
 }
 
@@ -78,17 +72,49 @@ func RunAll(w io.Writer, markdown bool) error {
 	return RunAllCfg(w, markdown, Config{})
 }
 
-// RunAllCfg is RunAll under an explicit execution config. Experiments run
-// one after another — each internally fanned out through the sweep pool per
-// cfg.Workers, so total concurrency is exactly the configured pool size —
-// and every passing table is rendered before a failure stops the run.
+// RunAllCfg is RunAll under an explicit execution config. All experiments
+// submit their grids to one shared worker pool, so cfg.Workers is an exact
+// process-wide concurrency cap and cheap experiments overlap the long ones
+// (E5/E7 no longer serialize the suite). Tables still render progressively
+// in presentation order — each as soon as it and its predecessors are done
+// — and are byte-identical to a sequential run at any worker count.
 func RunAllCfg(w io.Writer, markdown bool, cfg Config) error {
-	for _, r := range All() {
-		table, err := r.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("experiment %s: %w", r.ID, err)
+	return runAll(w, markdown, cfg, All())
+}
+
+// runAll is RunAllCfg over an explicit runner list (tests use subsets).
+func runAll(w io.Writer, markdown bool, cfg Config, runners []Runner) error {
+	pool := sweep.NewPool(cfg.Workers)
+	defer pool.Close()
+	cfg.pool = pool
+
+	type outcome struct {
+		table Table
+		err   error
+	}
+	done := make([]chan outcome, len(runners))
+	for i, r := range runners {
+		done[i] = make(chan outcome, 1)
+		go func(i int, r Runner) {
+			table, err := r.Run(cfg)
+			done[i] <- outcome{table, err}
+		}(i, r)
+	}
+	// drain waits for the still-running experiments before an early return:
+	// the deferred pool.Close must not race their submissions.
+	drain := func(from int) {
+		for i := from; i < len(runners); i++ {
+			<-done[i]
 		}
-		if err := renderTable(&table, w, markdown); err != nil {
+	}
+	for i, r := range runners {
+		out := <-done[i]
+		if out.err != nil {
+			drain(i + 1)
+			return fmt.Errorf("experiment %s: %w", r.ID, out.err)
+		}
+		if err := renderTable(&out.table, w, markdown); err != nil {
+			drain(i + 1)
 			return err
 		}
 	}

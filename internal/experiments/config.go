@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"repro/internal/cache"
 	"repro/internal/sweep"
 )
 
 // Config controls how an experiment's parameter grid is executed. The zero
-// value runs fully parallel (one worker per CPU) with seed 0 and no
-// Monte-Carlo sampling — the deterministic grids the paper's tables use.
+// value runs fully parallel (one worker per CPU) with seed 0, no
+// Monte-Carlo sampling, and no caching — the deterministic grids the
+// paper's tables use.
 type Config struct {
 	// Workers is the sweep pool size: 0 = GOMAXPROCS, 1 = serial. Output
 	// is bit-identical for every value (see internal/sweep).
@@ -19,8 +21,20 @@ type Config struct {
 	// of their fixed deterministic sweep, and adds summary-statistic
 	// columns (min/mean/p90/max via internal/analysis).
 	Samples int
+	// Cache, when non-nil, memoizes simulation results across jobs,
+	// experiments, and re-runs (see internal/cache). Tables are
+	// byte-identical with the cache present or absent, warm or cold.
+	Cache *cache.Cache
+	// Monitor, when non-nil, receives per-job progress and timing from
+	// every sweep the experiments run.
+	Monitor *sweep.Monitor
+
+	// pool is the shared worker pool RunAllCfg installs so that the whole
+	// suite draws from one worker budget; nil means each experiment fans
+	// out on its own goroutines (still capped at Workers per experiment).
+	pool *sweep.Pool
 }
 
 func (c Config) sweepOptions() sweep.Options {
-	return sweep.Options{Workers: c.Workers, BaseSeed: c.Seed}
+	return sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.pool, Monitor: c.Monitor}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/frame"
@@ -11,12 +12,16 @@ import (
 	"repro/internal/sim"
 )
 
-// E10Gathering explores the paper's stated open direction (Section 5):
+// E10Gathering explores the open direction with the default config.
+func E10Gathering() (Table, error) { return E10GatheringCfg(Config{}) }
+
+// E10GatheringCfg explores the paper's stated open direction (Section 5):
 // deterministic gathering of more than two robots with minimal knowledge.
 // Every pairwise-feasible pair must meet (Theorem 2 applies per pair); full
 // simultaneous gathering has no guarantee in the paper, and the table
-// records what the exact simulator observes.
-func E10Gathering() (Table, error) {
+// records what the exact simulator observes. Every instance is an
+// independent sweep job.
+func E10GatheringCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E10",
 		Title:  "multi-robot gathering (extension: the Section 5 open problem)",
@@ -51,32 +56,38 @@ func E10Gathering() (Table, error) {
 			mk(1, 1, 0, 0, 0), mk(0.5, 1, 0, 1, 0), mk(0.75, 1, 0, 0, 1),
 		}},
 	}
+	var jobs []rowJob
 	for _, c := range cases {
-		in := gather.Instance{Robots: c.robots, R: c.r}
-		res, err := gather.Simulate(algo.CumulativeSearch(), in, gather.Options{Horizon: 2e4})
-		if err != nil {
-			return t, fmt.Errorf("E10 %s: %w", c.name, err)
-		}
-		met, last := 0, 0.0
-		for _, p := range res.Pairs {
-			if p.Met {
-				met++
-				if p.Time > last {
-					last = p.Time
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			in := gather.Instance{Robots: c.robots, R: c.r}
+			res, err := gather.Simulate(algo.CumulativeSearch(), in, gather.Options{Horizon: 2e4})
+			if err != nil {
+				return nil, fmt.Errorf("E10 %s: %w", c.name, err)
+			}
+			met, last := 0, 0.0
+			for _, p := range res.Pairs {
+				if p.Met {
+					met++
+					if p.Time > last {
+						last = p.Time
+					}
 				}
 			}
-		}
-		// Cross-check against the pairwise Theorem 4 prediction.
-		if gather.AllPairsFeasible(c.robots) && met != len(res.Pairs) {
-			return t, fmt.Errorf("E10 %s: pairwise-feasible instance with %d/%d pairs met",
-				c.name, met, len(res.Pairs))
-		}
-		gt := "-"
-		if res.Gathered {
-			gt = fmt.Sprintf("%.5g", res.GatherTime)
-		}
-		t.AddRow(c.name, fmt.Sprintf("%d / %d", met, len(res.Pairs)),
-			last, boolMark(res.Gathered), gt)
+			// Cross-check against the pairwise Theorem 4 prediction.
+			if gather.AllPairsFeasible(c.robots) && met != len(res.Pairs) {
+				return nil, fmt.Errorf("E10 %s: pairwise-feasible instance with %d/%d pairs met",
+					c.name, met, len(res.Pairs))
+			}
+			gt := "-"
+			if res.Gathered {
+				gt = fmt.Sprintf("%.5g", res.GatherTime)
+			}
+			return []any{c.name, fmt.Sprintf("%d / %d", met, len(res.Pairs)),
+				last, boolMark(res.Gathered), gt}, nil
+		})
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"pairwise meetings follow Theorem 2/4 exactly (identical pairs never meet, capping the",
@@ -87,11 +98,15 @@ func E10Gathering() (Table, error) {
 	return t, nil
 }
 
-// E11LineVsPlane contrasts the paper's planar Theorem 4 with the
+// E11LineVsPlane contrasts line and plane with the default config.
+func E11LineVsPlane() (Table, error) { return E11LineVsPlaneCfg(Config{}) }
+
+// E11LineVsPlaneCfg contrasts the paper's planar Theorem 4 with the
 // one-dimensional setting of its predecessor [11]: a pure direction flip is
 // always a symmetry breaker on the line, while the analogous planar mirror
-// case (χ = −1, v = τ = 1) is infeasible.
-func E11LineVsPlane() (Table, error) {
+// case (χ = −1, v = τ = 1) is infeasible. Every attribute-difference row is
+// an independent sweep job; the planar simulations go through the cache.
+func E11LineVsPlaneCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E11",
 		Title:  "line vs. plane: which attribute differences break symmetry",
@@ -112,7 +127,7 @@ func E11LineVsPlane() (Table, error) {
 	}
 	planeRun := func(a frame.Attributes) string {
 		in := sim.Instance{Attrs: a, D: AdversarialDisplacement(a, 1), R: r}
-		res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+		res, err := cfg.Cache.Rendezvous("alg7", algo.Universal, in, sim.Options{Horizon: horizon})
 		if err != nil {
 			return "error: " + err.Error()
 		}
@@ -125,16 +140,22 @@ func E11LineVsPlane() (Table, error) {
 		// planar analogue with χ = +1 and χ = −1
 		v, tau, phi float64
 	}
+	var jobs []rowJob
 	for _, d := range []diff{
 		{"none (identical)", line.Attributes{V: 1, Tau: 1, Dir: +1}, 1, 1, 0},
 		{"speed (v=1/2)", line.Attributes{V: 0.5, Tau: 1, Dir: +1}, 0.5, 1, 0},
 		{"clock (τ=1/2)", line.Attributes{V: 1, Tau: 0.5, Dir: +1}, 1, 0.5, 0},
 		{"direction/orientation", line.Attributes{V: 1, Tau: 1, Dir: -1}, 1, 1, 2.0},
 	} {
-		t.AddRow(d.name,
-			lineRun(d.lineAttrs),
-			planeRun(frame.Attributes{V: d.v, Tau: d.tau, Phi: d.phi, Chi: frame.CCW}),
-			planeRun(frame.Attributes{V: d.v, Tau: d.tau, Phi: d.phi, Chi: frame.CW}))
+		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
+			return []any{d.name,
+				lineRun(d.lineAttrs),
+				planeRun(frame.Attributes{V: d.v, Tau: d.tau, Phi: d.phi, Chi: frame.CCW}),
+				planeRun(frame.Attributes{V: d.v, Tau: d.tau, Phi: d.phi, Chi: frame.CW})}, nil
+		})
+	}
+	if err := runRows(&t, cfg, jobs); err != nil {
+		return t, err
 	}
 	t.Notes = append(t.Notes,
 		"the direction/orientation row is the headline contrast: always feasible on the line,",

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/frame"
@@ -10,13 +11,18 @@ import (
 	"repro/internal/trajectory"
 )
 
-// E14FaultInjection measures the paper's algorithms under robot faults —
+// E14FaultInjection injects faults with the default config.
+func E14FaultInjection() (Table, error) { return E14FaultInjectionCfg(Config{}) }
+
+// E14FaultInjectionCfg measures the paper's algorithms under robot faults —
 // the reliability dimension the related work ([12], compass-error papers)
 // treats adversarially. The striking effect: two *identical* robots, for
 // whom rendezvous is provably infeasible (Theorem 4), meet once any fault
 // de-synchronises them — a crash, a late start, or a transient freeze all
-// act as external symmetry breakers.
-func E14FaultInjection() (Table, error) {
+// act as external symmetry breakers. Every fault scenario is an
+// independent, cache-backed sweep job; the symmetric control is re-checked
+// on the assembled table.
+func E14FaultInjectionCfg(cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E14",
 		Title:   "fault injection on identical robots (extension)",
@@ -34,51 +40,54 @@ func E14FaultInjection() (Table, error) {
 	b := func() trajectory.Source {
 		return ref.Apply(algo.CumulativeSearch(), d)
 	}
-	run := func(name string, faulty trajectory.Source, note string, mustMeet bool) error {
-		res, err := sim.FirstMeeting(a(), faulty, r, sim.Options{Horizon: horizon})
-		if err != nil {
-			return fmt.Errorf("E14 %s: %w", name, err)
+	// The cache id fully determines both trajectories: an identical alg4
+	// twin displaced by (1,0), with the named fault applied to R′.
+	job := func(id, name string, faulty func() trajectory.Source, note string, mustMeet bool) rowJob {
+		return func(*rand.Rand) ([]any, error) {
+			res, err := cfg.Cache.FirstMeeting("e14:alg4-twin:d=1,0:"+id, a, faulty, r,
+				sim.Options{Horizon: horizon})
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s: %w", name, err)
+			}
+			outcome, tm := "no meeting", "-"
+			if res.Met {
+				outcome = "met"
+				tm = fmt.Sprintf("%.5g", res.Time)
+			}
+			if mustMeet && !res.Met {
+				return nil, fmt.Errorf("E14 %s: expected meeting, got none (gap %v)", name, res.Gap)
+			}
+			return []any{name, outcome, tm, note}, nil
 		}
-		outcome, tm := "no meeting", "-"
-		if res.Met {
-			outcome = "met"
-			tm = fmt.Sprintf("%.5g", res.Time)
-		}
-		if mustMeet && !res.Met {
-			return fmt.Errorf("E14 %s: expected meeting, got none (gap %v)", name, res.Gap)
-		}
-		t.AddRow(name, outcome, tm, note)
-		return nil
 	}
 
 	// Control: no fault — perfectly symmetric, never meets.
-	if err := run("none (control)", b(), "Theorem 4: infeasible", false); err != nil {
-		return t, err
-	}
-	if last := t.Rows[len(t.Rows)-1]; last[1] != "no meeting" {
-		return t, fmt.Errorf("E14 control: symmetric robots met")
-	}
+	jobs := []rowJob{job("none", "none (control)", b, "Theorem 4: infeasible", false)}
 	// Crash faults: R′ halts forever; R's algorithm solves plain search
 	// against the crash position, so meeting is guaranteed.
 	for _, crash := range []float64{0, 50, 500} {
 		name := fmt.Sprintf("crash at t=%g", crash)
-		if err := run(name, trajectory.CutAt(b(), crash),
-			"reduces to search; guaranteed", true); err != nil {
-			return t, err
-		}
+		jobs = append(jobs, job(fmt.Sprintf("crash:%g", crash), name,
+			func() trajectory.Source { return trajectory.CutAt(b(), crash) },
+			"reduces to search; guaranteed", true))
 	}
 	// Delayed start: R′ is a time-shifted twin.
 	for _, delay := range []float64{10, 100} {
 		name := fmt.Sprintf("start delayed by %g", delay)
-		if err := run(name, trajectory.DelayStart(b(), delay),
-			"time shift breaks symmetry", false); err != nil {
-			return t, err
-		}
+		jobs = append(jobs, job(fmt.Sprintf("delay:%g", delay), name,
+			func() trajectory.Source { return trajectory.DelayStart(b(), delay) },
+			"time shift breaks symmetry", false))
 	}
 	// Transient freeze: outage then resume, permanently offset in phase.
-	if err := run("frozen during [100, 300]", trajectory.FreezeDuring(b(), 100, 300),
-		"phase offset after outage", false); err != nil {
+	jobs = append(jobs, job("freeze:100-300", "frozen during [100, 300]",
+		func() trajectory.Source { return trajectory.FreezeDuring(b(), 100, 300) },
+		"phase offset after outage", false))
+
+	if err := runRows(&t, cfg, jobs); err != nil {
 		return t, err
+	}
+	if t.Rows[0][1] != "no meeting" {
+		return t, fmt.Errorf("E14 control: symmetric robots met")
 	}
 	t.Notes = append(t.Notes,
 		"identical robots never meet (control) but ANY fault that de-synchronises them acts",

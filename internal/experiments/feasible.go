@@ -62,7 +62,8 @@ func E8FeasibilityCfg(cfg Config) (Table, error) {
 						a := frame.Attributes{V: v, Tau: tau, Phi: phi, Chi: chi}
 						verdict := feasibility.Classify(a)
 						in := sim.Instance{Attrs: a, D: AdversarialDisplacement(a, 1), R: r}
-						res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+						res, err := cfg.Cache.Rendezvous("alg7", algo.Universal, in,
+							sim.Options{Horizon: horizon})
 						if err != nil {
 							return nil, fmt.Errorf("E8 %v: %w", a, err)
 						}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/analysis"
+	"repro/internal/feasibility"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/trajectory"
+)
+
+// gridBase is the default rendezvous instance a CLI grid sweep perturbs:
+// axes override individual parameters, everything else stays at these
+// values (the E3 working point with v = 1/2).
+var gridBase = sim.Instance{
+	Attrs: frame.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: frame.CCW},
+	D:     geom.V(1, 0),
+	R:     0.25,
+}
+
+// gridAxisNames lists the axis names RunGridCfg accepts, in the order the
+// parameters appear in the table.
+var gridAxisNames = []string{"v", "tau", "phi", "chi", "d", "r"}
+
+// applyGridPoint returns gridBase with the named parameters overridden.
+func applyGridPoint(names []string, point []float64) (sim.Instance, error) {
+	in := gridBase
+	for i, name := range names {
+		x := point[i]
+		switch name {
+		case "v":
+			in.Attrs.V = x
+		case "tau":
+			in.Attrs.Tau = x
+		case "phi":
+			in.Attrs.Phi = x
+		case "chi":
+			if x != 1 && x != -1 {
+				return in, fmt.Errorf("chi must be +1 or -1, got %g", x)
+			}
+			in.Attrs.Chi = frame.Chirality(int(x))
+		case "d":
+			in.D = geom.V(x, 0)
+		case "r":
+			in.R = x
+		default:
+			return in, fmt.Errorf("unknown axis %q (have %s)", name, strings.Join(gridAxisNames, ", "))
+		}
+	}
+	return in, in.Validate()
+}
+
+// RunGridCfg runs a caller-defined rendezvous parameter sweep — the CLI's
+// -grid flags — and renders one table for the whole grid. Each spec is one
+// sweep.ParseAxis axis over an instance parameter (v, tau, phi, chi, d, r);
+// the grid is their cross product, evaluated under algoName ("search" for
+// Algorithm 4, "universal" for Algorithm 7) through the sweep pool and the
+// config's cache.
+//
+// Per grid point, cfg.Samples > 0 draws that many displacement directions
+// uniformly at random (keeping |d|) from the per-job RNG; otherwise the
+// single deterministic instance with d on the +x axis runs. The table
+// reports the met fraction and analysis.Summarize statistics of the meeting
+// times (over the samples of the point; with one sample the statistics
+// collapse onto it).
+func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg Config) error {
+	if len(specs) == 0 {
+		return fmt.Errorf("experiments: no grid axes given")
+	}
+	grid, err := sweep.ParseGrid(specs...)
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(grid))
+	for i, ax := range grid {
+		names[i] = ax.Name
+		if len(ax.Values) == 0 {
+			return fmt.Errorf("experiments: axis %q has no values", ax.Name)
+		}
+		// Surface a bad axis name before running anything.
+		if _, err := applyGridPoint([]string{ax.Name}, []float64{ax.Values[0]}); err != nil {
+			return fmt.Errorf("experiments: axis %q: %w", ax.Name, err)
+		}
+	}
+
+	var programID string
+	var program func() trajectory.Source
+	switch algoName {
+	case "", "search":
+		programID, program = "alg4", algo.CumulativeSearch
+	case "universal":
+		programID, program = "alg7", algo.Universal
+	default:
+		return fmt.Errorf("experiments: unknown grid algorithm %q (want search or universal)", algoName)
+	}
+
+	samples := cfg.Samples
+	if samples < 1 {
+		samples = 1
+	}
+	type outcome struct {
+		met  bool
+		time float64
+	}
+	cells, err := sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (outcome, error) {
+		in, err := applyGridPoint(names, point)
+		if err != nil {
+			return outcome{}, fmt.Errorf("point %v: %w", point, err)
+		}
+		if cfg.Samples > 0 {
+			in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng.Float64())
+		}
+		horizon := 4 * feasibility.TimeBound(in.Attrs, in.D.Norm(), in.R)
+		if math.IsInf(horizon, 1) || horizon <= 0 {
+			horizon = 1e6
+		}
+		res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: horizon})
+		if err != nil {
+			return outcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
+		}
+		return outcome{res.Met, res.Time}, nil
+	}, cfg.sweepOptions())
+	if err != nil {
+		return err
+	}
+
+	t := Table{
+		ID:      "GRID",
+		Title:   fmt.Sprintf("parameter sweep under %s (%d points × %d samples)", programID, grid.Size(), samples),
+		Source:  "CLI -grid " + strings.Join(specs, " -grid "),
+		Columns: append(append([]string{}, names...), "met", "T_min", "T_mean", "T_p90", "T_max"),
+	}
+	for ci := 0; ci < grid.Size(); ci++ {
+		point := grid.Point(ci)
+		times := make([]float64, 0, samples)
+		for _, o := range cells[ci*samples : (ci+1)*samples] {
+			if o.met {
+				times = append(times, o.time)
+			}
+		}
+		s := analysis.Summarize(times)
+		row := make([]any, 0, len(point)+5)
+		for _, x := range point {
+			row = append(row, x)
+		}
+		row = append(row, fmt.Sprintf("%d/%d", len(times), samples))
+		if len(times) == 0 {
+			row = append(row, "-", "-", "-", "-")
+		} else {
+			row = append(row, s.Min, s.Mean, s.P90, s.Max)
+		}
+		t.AddRow(row...)
+	}
+	if cfg.Samples > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"Monte-Carlo displacement directions: %d per point, base seed %d", cfg.Samples, cfg.Seed))
+	}
+	return renderTable(&t, w, markdown)
+}

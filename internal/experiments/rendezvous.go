@@ -45,7 +45,8 @@ func E3SameChiralityCfg(cfg Config) (Table, error) {
 				if math.IsInf(horizon, 1) {
 					horizon = 1e6
 				}
-				res, err := sim.Rendezvous(algo.CumulativeSearch(), in, sim.Options{Horizon: horizon})
+				res, err := cfg.Cache.Rendezvous("alg4", algo.CumulativeSearch, in,
+					sim.Options{Horizon: horizon})
 				if err != nil {
 					return nil, fmt.Errorf("E3 v=%v φ=%v: %w", v, phi, err)
 				}
@@ -93,7 +94,8 @@ func E4OppositeChiralityCfg(cfg Config) (Table, error) {
 					D:     geom.V(d, 0),
 					R:     r,
 				}
-				res, err := sim.Rendezvous(algo.CumulativeSearch(), in, sim.Options{Horizon: 2*bound + 2000})
+				res, err := cfg.Cache.Rendezvous("alg4", algo.CumulativeSearch, in,
+					sim.Options{Horizon: 2*bound + 2000})
 				if err != nil {
 					return nil, fmt.Errorf("E4 v=%v φ=%v: %w", v, phi, err)
 				}

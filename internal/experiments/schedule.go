@@ -7,8 +7,6 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/bounds"
-	"repro/internal/geom"
-	"repro/internal/segment"
 	"repro/internal/sweep"
 )
 
@@ -23,9 +21,12 @@ func E5PhaseSchedule() (Table, error) { return E5PhaseScheduleN(12) }
 func E5PhaseScheduleN(maxN int) (Table, error) { return E5PhaseScheduleCfg(maxN, Config{}) }
 
 // E5PhaseScheduleCfg is E5PhaseScheduleN under an execution config. The
-// measurement is one cumulative walk of the trajectory stream — inherently
-// serial — so it runs as a single sweep job: worker count cannot change the
-// output, only the engine's plumbing is shared.
+// measurement used to be one cumulative walk of the trajectory stream —
+// inherently serial, and the long pole of RunAll. It now decomposes into one
+// sweep job per round: job n replays the duration fold of the stream prefix
+// up to round n's wait (algo.UniversalPhaseStart), which reproduces the walk
+// bit-identically (same additions in the same order, pinned by a test in
+// internal/algo) while letting the rounds compute in parallel.
 func E5PhaseScheduleCfg(maxN int, cfg Config) (Table, error) {
 	t := Table{
 		ID:      "E5",
@@ -33,43 +34,19 @@ func E5PhaseScheduleCfg(maxN int, cfg Config) (Table, error) {
 		Source:  "Lemma 8, Figures 1-2",
 		Columns: []string{"n", "I(n) measured", "I(n) closed", "A(n) measured", "A(n) closed", "max rel. err"},
 	}
-	type schedule struct {
-		inactive, active []float64
-	}
-	meas, err := sweep.Run(1, func(int, *rand.Rand) (schedule, error) {
-		s := schedule{
-			inactive: make([]float64, maxN+1),
-			active:   make([]float64, maxN+1),
-		}
-		// Walk the stream: round n begins at the wait of length 2S(n); the
-		// active phase begins when that wait ends.
-		elapsed := 0.0
-		n := 1
-		for seg := range algo.Universal() {
-			if w, ok := seg.(segment.Wait); ok && w.At == geom.Zero && w.Time == 2*algo.SearchAllDuration(n) {
-				s.inactive[n] = elapsed
-				s.active[n] = elapsed + w.Time
-				n++
-				if n > maxN {
-					break
-				}
-			}
-			elapsed += seg.Duration()
-		}
-		if n <= maxN {
-			return s, fmt.Errorf("E5: found only %d rounds", n-1)
-		}
-		return s, nil
+	meas, err := sweep.Run(maxN, func(i int, _ *rand.Rand) ([2]float64, error) {
+		inactive, active := algo.UniversalPhaseStart(i + 1)
+		return [2]float64{inactive, active}, nil
 	}, cfg.sweepOptions())
 	if err != nil {
 		return t, err
 	}
-	measuredI, measuredA := meas[0].inactive, meas[0].active
 	for k := 1; k <= maxN; k++ {
+		measuredI, measuredA := meas[k-1][0], meas[k-1][1]
 		ci, ca := bounds.InactiveStart(k), bounds.ActiveStart(k)
-		errI := math.Abs(measuredI[k]-ci) / math.Max(1, ci)
-		errA := math.Abs(measuredA[k]-ca) / math.Max(1, ca)
-		t.AddRow(k, measuredI[k], ci, measuredA[k], ca, fmt.Sprintf("%.2e", math.Max(errI, errA)))
+		errI := math.Abs(measuredI-ci) / math.Max(1, ci)
+		errA := math.Abs(measuredA-ca) / math.Max(1, ca)
+		t.AddRow(k, measuredI, ci, measuredA, ca, fmt.Sprintf("%.2e", math.Max(errI, errA)))
 	}
 	t.Notes = append(t.Notes, "measured schedule equals the closed forms to float64 round-off")
 	return t, nil

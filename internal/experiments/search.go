@@ -51,7 +51,8 @@ func E1SearchScalingCfg(cfg Config) (Table, error) {
 		}
 		target := geom.Polar(d, angle)
 		bound := bounds.SearchTimeBound(d, r)
-		res, err := sim.Search(algo.CumulativeSearch(), target, r, sim.Options{Horizon: 2*bound + 1000})
+		res, err := cfg.Cache.Search("alg4", algo.CumulativeSearch, target, r,
+			sim.Options{Horizon: 2*bound + 1000})
 		if err != nil {
 			return 0, fmt.Errorf("E1 d=%v r=%v: %w", d, r, err)
 		}
@@ -165,13 +166,20 @@ func E9BaselinesCfg(cfg Config) (Table, error) {
 	}
 	type strategy struct {
 		name string
-		src  func(r float64) trajectory.Source
+		// id is the cache identity of the program for a given r; it must
+		// track every parameter that changes the generated trajectory.
+		id  func(r float64) string
+		src func(r float64) trajectory.Source
 	}
 	strategies := []strategy{
-		{"alg4", func(float64) trajectory.Source { return algo.CumulativeSearch() }},
-		{"known", func(r float64) trajectory.Source { return algo.KnownVisibilitySearch(r) }},
-		{"pitch", func(float64) trajectory.Source { return algo.FixedPitchSweep(0.5) }},
-		{"rings", func(float64) trajectory.Source { return algo.ExpandingRings() }},
+		{"alg4", func(float64) string { return "alg4" },
+			func(float64) trajectory.Source { return algo.CumulativeSearch() }},
+		{"known", func(r float64) string { return fmt.Sprintf("known:%g", r) },
+			func(r float64) trajectory.Source { return algo.KnownVisibilitySearch(r) }},
+		{"pitch", func(float64) string { return "pitch:0.5" },
+			func(float64) trajectory.Source { return algo.FixedPitchSweep(0.5) }},
+		{"rings", func(float64) string { return "rings" },
+			func(float64) trajectory.Source { return algo.ExpandingRings() }},
 	}
 	// The strategy index rides as the per-point "sample".
 	cells, err := sweep.RunGrid(grid, len(strategies), func(point []float64, si int, _ *rand.Rand) (string, error) {
@@ -179,7 +187,8 @@ func E9BaselinesCfg(cfg Config) (Table, error) {
 		s := strategies[si]
 		target := geom.Polar(d, 0.7)
 		horizon := 4*bounds.SearchTimeBound(d, r) + 2000
-		res, err := sim.Search(s.src(r), target, r, sim.Options{Horizon: horizon})
+		res, err := cfg.Cache.Search(s.id(r), func() trajectory.Source { return s.src(r) },
+			target, r, sim.Options{Horizon: horizon})
 		if err != nil {
 			return "", fmt.Errorf("E9 %s d=%v r=%v: %w", s.name, d, r, err)
 		}

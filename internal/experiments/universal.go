@@ -48,7 +48,8 @@ func E7UniversalRoundsCfg(cfg Config) (Table, error) {
 					D:     geom.V(d, 0),
 					R:     r,
 				}
-				res, err := sim.Rendezvous(algo.Universal(), in, sim.Options{Horizon: horizon})
+				res, err := cfg.Cache.Rendezvous("alg7", algo.Universal, in,
+					sim.Options{Horizon: horizon})
 				if err != nil {
 					return nil, fmt.Errorf("E7 τ=%v: %w", tau, err)
 				}

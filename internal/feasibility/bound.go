@@ -1,0 +1,47 @@
+package feasibility
+
+import (
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/frame"
+)
+
+// TimeBound returns the paper's envelope on the meeting time of a
+// rendezvous instance with attributes a, initial distance d, and
+// visibility radius r: the Theorem 2 closed forms when the clocks are
+// symmetric, the Theorem 3 / Lemma 13 round bound otherwise, and +Inf for
+// infeasible instances.
+//
+// The asymmetric-clock bound is a worst-case envelope (Lemma 13's k* plus
+// one full round); for τ > 1 the schedule is rescaled to the slower
+// robot's clock, and the discovery-round estimate n uses the reference
+// robot's units, which can be conservative by one round. Measured times
+// are typically far below the envelope (see experiment E7). It is the
+// single source of horizon selection for the root package's
+// RendezvousTimeBound and the CLI grid sweeps.
+func TimeBound(a frame.Attributes, d, r float64) float64 {
+	if !Feasible(a) {
+		return math.Inf(1)
+	}
+	if a.Tau == 1 {
+		if a.Chi == frame.CCW {
+			return bounds.RendezvousBoundSameChirality(d, r, a.V, a.Phi)
+		}
+		return bounds.RendezvousBoundOppositeChirality(d, r, a.V)
+	}
+	tau, ok := bounds.NormalizeTau(a.Tau)
+	if !ok {
+		return math.Inf(1)
+	}
+	bound, ok := bounds.UniversalTimeBound(d, r, tau)
+	if !ok {
+		return math.Inf(1)
+	}
+	// The Section 4 schedule is measured on the slower robot's clock; when
+	// τ > 1 the roles swap and the global time stretches accordingly.
+	if a.Tau > 1 {
+		bound *= a.Tau
+	}
+	return bound
+}

@@ -108,30 +108,53 @@ func DefaultOptions(r float64) Options {
 var ErrIterationBudget = errors.New("motion: safe-advance iteration budget exhausted")
 
 // FirstContact returns the earliest t in [t0, t1] at which |a(t) − b(t)| ≤ r.
-// found is false when no such time exists in the interval.
+// found is false when no such time exists in the interval. Scratch-backed
+// *Linear and *Circular motions take the same closed-form paths as their
+// value counterparts.
 func FirstContact(a, b Motion, r, t0, t1 float64, opt Options) (t float64, found bool, err error) {
 	if t1 < t0 {
 		return 0, false, nil
 	}
-	switch am := a.(type) {
-	case Linear:
-		switch bm := b.(type) {
-		case Linear:
+	if am, ok := asLinear(a); ok {
+		if bm, ok := asLinear(b); ok {
 			t, found = linearLinear(am, bm, r, t0, t1)
 			return t, found, nil
-		case Circular:
-			if am.Vel == (geom.Vec{}) {
-				t, found = circularStatic(bm, am.P0, r, t0, t1)
-				return t, found, nil
-			}
 		}
-	case Circular:
-		if bm, ok := b.(Linear); ok && bm.Vel == (geom.Vec{}) {
+		if bm, ok := asCircular(b); ok && am.Vel == (geom.Vec{}) {
+			t, found = circularStatic(bm, am.P0, r, t0, t1)
+			return t, found, nil
+		}
+	} else if am, ok := asCircular(a); ok {
+		if bm, ok := asLinear(b); ok && bm.Vel == (geom.Vec{}) {
 			t, found = circularStatic(am, bm.P0, r, t0, t1)
 			return t, found, nil
 		}
 	}
 	return conservative(a, b, r, t0, t1, opt)
+}
+
+// asLinear unwraps a Linear motion whether boxed by value or via a Scratch
+// pointer.
+func asLinear(m Motion) (Linear, bool) {
+	switch v := m.(type) {
+	case Linear:
+		return v, true
+	case *Linear:
+		return *v, true
+	}
+	return Linear{}, false
+}
+
+// asCircular unwraps a Circular motion whether boxed by value or via a
+// Scratch pointer.
+func asCircular(m Motion) (Circular, bool) {
+	switch v := m.(type) {
+	case Circular:
+		return v, true
+	case *Circular:
+		return *v, true
+	}
+	return Circular{}, false
 }
 
 // linearLinear solves |Δp0 + Δv·(t−t0)| = r on [t0, t1] exactly.

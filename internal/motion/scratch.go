@@ -1,0 +1,65 @@
+package motion
+
+import (
+	"repro/internal/geom"
+	"repro/internal/segment"
+)
+
+// Scratch is reusable storage for the concrete motion of the current
+// segment. FromSegment boxes a fresh Motion interface value (and, on the
+// fallback path, a closure) per call — one heap allocation per segment
+// interval on the simulator hot path. The Scratch methods instead fill
+// fields owned by the caller and return a pointer into the scratch, so the
+// interface conversion carries a pointer and allocates nothing.
+//
+// The returned Motion aliases the scratch: it is valid only until the next
+// call on the same Scratch. The simulator holds at most one live motion per
+// robot, so one Scratch per robot suffices.
+type Scratch struct {
+	lin  Linear
+	circ Circular
+	seg  segMotion
+}
+
+// FromSegment is the package-level FromSegment without the per-call
+// allocation. The conversion rules — and the resulting arithmetic — are
+// identical; only the storage differs.
+func (s *Scratch) FromSegment(seg segment.Segment, absStart float64) Motion {
+	if lin, ok := linearOf(seg, absStart); ok {
+		s.lin = lin
+		return &s.lin
+	}
+	if g, ok := segment.ArcAt(seg); ok {
+		s.circ = Circular{
+			T0:     absStart,
+			Center: g.Center,
+			Radius: g.Radius,
+			Theta0: g.StartAngle,
+			Omega:  g.Omega,
+		}
+		return &s.circ
+	}
+	s.seg = segMotion{seg: seg, t0: absStart, bound: seg.MaxSpeed()}
+	return &s.seg
+}
+
+// Static is the package-level Static backed by the scratch.
+func (s *Scratch) Static(p geom.Vec) Motion {
+	s.lin = Static(p)
+	return &s.lin
+}
+
+// segMotion adapts an arbitrary trajectory segment as a Motion without the
+// closure allocation of Func. It is the conservative-fallback counterpart of
+// Func: At evaluates the segment directly.
+type segMotion struct {
+	seg   segment.Segment
+	t0    float64
+	bound float64
+}
+
+// At implements Motion.
+func (m *segMotion) At(t float64) geom.Vec { return m.seg.Position(t - m.t0) }
+
+// SpeedBound implements Motion.
+func (m *segMotion) SpeedBound() float64 { return m.bound }

@@ -90,12 +90,13 @@ func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error
 	var (
 		res        Result
 		odoA, odoB odometer
+		scA, scB   motion.Scratch
 	)
 	var lastA, lastB motion.Motion
 	t := 0.0
 	for t < opt.Horizon {
-		ma, endA := motionAt(wa, t, &odoA)
-		mb, endB := motionAt(wb, t, &odoB)
+		ma, endA := motionAt(wa, t, &odoA, &scA)
+		mb, endB := motionAt(wb, t, &odoB, &scB)
 		lastA, lastB = ma, mb
 
 		intervalEnd := math.Min(opt.Horizon, math.Min(endA, endB))
@@ -185,21 +186,98 @@ func (o *odometer) at(t float64) float64 {
 // motionAt returns the exact motion of the walker at absolute time t and the
 // absolute end time of the current segment, updating the robot's odometer.
 // Past the end of a finite source the mover is static forever (end = +Inf).
-func motionAt(w *trajectory.Walker, t float64, odo *odometer) (motion.Motion, float64) {
+// The returned motion lives in sc and is valid until the next call with the
+// same scratch.
+func motionAt(w *trajectory.Walker, t float64, odo *odometer, sc *motion.Scratch) (motion.Motion, float64) {
 	seg, start, ok := w.SegmentAt(t)
 	if !ok {
 		odo.halt()
-		return motion.Static(w.FinalPosition()), math.Inf(1)
+		return sc.Static(w.FinalPosition()), math.Inf(1)
 	}
 	odo.observe(start, seg.Duration(), seg.PathLength())
-	return motion.FromSegment(seg, start), start + seg.Duration()
+	return sc.FromSegment(seg, start), start + seg.Duration()
 }
 
 // Search simulates the search problem of Section 2: the reference robot runs
 // program from the origin; a static target sits at target; the robot sees it
 // at distance r. It returns the first detection time.
+//
+// The results are bit-identical to
+// FirstMeeting(program, trajectory.Stationary(target), r, opt), but the
+// program is walked with a plain callback loop instead of an iter.Pull
+// cursor and the per-segment motion lives in a reused scratch, so the search
+// hot path performs no per-segment allocations.
 func Search(program trajectory.Source, target geom.Vec, r float64, opt Options) (Result, error) {
-	return FirstMeeting(program, trajectory.Stationary(target), r, opt)
+	if opt.Horizon <= 0 || r <= 0 {
+		return Result{}, ErrBadOptions
+	}
+	mopt := motion.Options{Slack: opt.Slack, MaxIters: opt.MaxIters}
+	if mopt.Slack <= 0 {
+		mopt.Slack = 1e-9 * r
+	}
+	if mopt.MaxIters <= 0 {
+		mopt.MaxIters = motion.DefaultOptions(r).MaxIters
+	}
+	tgt := motion.Static(target)
+
+	var (
+		res      Result
+		odo      odometer
+		sc       motion.Scratch
+		finalPos geom.Vec
+		retErr   error
+	)
+	t, start := 0.0, 0.0
+	finished := false // contact found, error, or horizon reached mid-stream
+	for seg := range program {
+		dur := seg.Duration()
+		segStart := start
+		start = segStart + dur
+		finalPos = seg.End()
+		if dur == 0 {
+			continue // a walker never surfaces zero-duration segments
+		}
+		odo.observe(segStart, dur, seg.PathLength())
+		ma := sc.FromSegment(seg, segStart)
+		intervalEnd := math.Min(opt.Horizon, segStart+dur)
+		res.Intervals++
+		hit, found, err := motion.FirstContact(ma, tgt, r, t, intervalEnd, mopt)
+		if err != nil {
+			retErr = fmt.Errorf("interval [%v, %v]: %w", t, intervalEnd, err)
+			finished = true
+			break
+		}
+		if found {
+			res.DistanceA, res.DistanceB = odo.at(hit), 0
+			res = met(res, ma, tgt, hit)
+			finished = true
+			break
+		}
+		t = intervalEnd
+		if t >= opt.Horizon {
+			res.Gap = ma.At(opt.Horizon).Dist(target)
+			res.DistanceA, res.DistanceB = odo.at(opt.Horizon), 0
+			finished = true
+			break
+		}
+	}
+	if retErr != nil {
+		return Result{}, retErr
+	}
+	if !finished {
+		// The program was exhausted before the horizon: the robot parks at
+		// its final position and the gap is constant forever.
+		odo.halt()
+		res.Intervals++
+		ma := sc.Static(finalPos)
+		gap := ma.At(t).Dist(target)
+		res.DistanceA, res.DistanceB = odo.at(t), 0
+		if gap <= r {
+			return met(res, ma, tgt, t), nil
+		}
+		res.Gap = gap
+	}
+	return res, nil
 }
 
 // Instance describes one rendezvous instance: the attributes of the second

@@ -8,7 +8,10 @@
 // private *rand.Rand seeded from (BaseSeed, i) via a splitmix64 derivation,
 // never shares mutable state between jobs, and writes result i into slot i
 // of a pre-sized slice. Monte-Carlo sweeps therefore reproduce exactly for
-// a fixed base seed whether they run on 1 worker or 64.
+// a fixed base seed whether they run on 1 worker or 64 — and whether the
+// batch runs on its own goroutines or on a Pool shared with other batches
+// (the shared global pool RunAllCfg uses to cap a whole suite at one worker
+// budget). A Monitor can observe per-job progress and timing.
 package sweep
 
 import (
@@ -17,6 +20,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Options control a batch run.
@@ -24,10 +29,17 @@ type Options struct {
 	// Workers is the number of concurrent goroutines executing jobs.
 	// 0 selects runtime.GOMAXPROCS(0); 1 runs every job serially in the
 	// calling goroutine (useful to isolate concurrency from a failure).
+	// Ignored when Pool is set.
 	Workers int
 	// BaseSeed is the root of the per-job RNG derivation. Two runs with the
 	// same BaseSeed and job count see identical random streams per index.
 	BaseSeed int64
+	// Pool, when non-nil, executes the jobs on a shared worker pool instead
+	// of goroutines owned by this run, so several concurrent batches share
+	// one worker budget. Results are identical either way.
+	Pool *Pool
+	// Monitor, when non-nil, receives per-job progress and timing.
+	Monitor *Monitor
 }
 
 func (o Options) workers() int {
@@ -81,7 +93,20 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 	errs := make([]error, n)
 	canceled := false
 
-	if workers := opt.workers(); workers == 1 {
+	if opt.Monitor != nil {
+		opt.Monitor.add(n)
+		inner := fn
+		fn = func(i int, rng *rand.Rand) (T, error) {
+			start := time.Now()
+			v, err := inner(i, rng)
+			opt.Monitor.jobDone(time.Since(start))
+			return v, err
+		}
+	}
+
+	if opt.Pool != nil {
+		canceled = runPooled(ctx, n, fn, opt, results, errs)
+	} else if workers := opt.workers(); workers == 1 {
 		// Serial path: run in the calling goroutine. Results are identical
 		// to the parallel path by construction (same per-index seeds).
 		for i := 0; i < n; i++ {
@@ -141,6 +166,50 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 		return results, errors.Join(ErrCanceled, ctx.Err())
 	}
 	return results, nil
+}
+
+// runPooled feeds the batch to a shared Pool. Each job still writes only
+// its own slot with its own (BaseSeed, index) RNG, so results match the
+// private-goroutine paths bit for bit. On a job error the remaining
+// submitted jobs are abandoned (they return without executing fn); on
+// context cancellation the feed stops and canceled is reported.
+func runPooled[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand) (T, error), opt Options, results []T, errs []error) (canceled bool) {
+	inner, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var skipped atomic.Bool
+feed:
+	for i := 0; i < n; i++ {
+		i := i
+		job := func() {
+			defer wg.Done()
+			if inner.Err() != nil {
+				skipped.Store(true) // a peer failed or the context ended
+				return
+			}
+			results[i], errs[i] = fn(i, Rand(opt.BaseSeed, i))
+			if errs[i] != nil {
+				cancel()
+			}
+		}
+		wg.Add(1)
+		select {
+		case opt.Pool.jobs <- job:
+		case <-inner.Done():
+			wg.Done()
+			canceled = ctx.Err() != nil
+			break feed
+		}
+	}
+	wg.Wait()
+	// Jobs queued before a context cancellation skip execution, leaving
+	// zero-valued slots: that must surface as a cancellation even when the
+	// feed itself completed (skips caused by a peer's error surface as the
+	// peer's JobError instead, which takes precedence in the caller).
+	if skipped.Load() && ctx.Err() != nil {
+		canceled = true
+	}
+	return canceled
 }
 
 // JobError reports which job failed.

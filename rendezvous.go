@@ -41,8 +41,6 @@
 package rendezvous
 
 import (
-	"math"
-
 	"repro/internal/algo"
 	"repro/internal/bounds"
 	"repro/internal/feasibility"
@@ -186,29 +184,5 @@ func RendezvousAuto(program Trajectory, in Instance, initialHorizon, maxHorizon 
 // units, which can be conservative by one round. Measured times are
 // typically far below the envelope (see experiment E7).
 func RendezvousTimeBound(in Instance) float64 {
-	a := in.Attrs
-	if !feasibility.Feasible(a) {
-		return math.Inf(1)
-	}
-	d := in.D.Norm()
-	if a.Tau == 1 {
-		if a.Chi == frame.CCW {
-			return bounds.RendezvousBoundSameChirality(d, in.R, a.V, a.Phi)
-		}
-		return bounds.RendezvousBoundOppositeChirality(d, in.R, a.V)
-	}
-	tau, ok := bounds.NormalizeTau(a.Tau)
-	if !ok {
-		return math.Inf(1)
-	}
-	bound, ok := bounds.UniversalTimeBound(d, in.R, tau)
-	if !ok {
-		return math.Inf(1)
-	}
-	// The Section 4 schedule is measured on the slower robot's clock; when
-	// τ > 1 the roles swap and the global time stretches accordingly.
-	if a.Tau > 1 {
-		bound *= a.Tau
-	}
-	return bound
+	return feasibility.TimeBound(in.Attrs, in.D.Norm(), in.R)
 }
