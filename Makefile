@@ -5,8 +5,9 @@
 # BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: ci vet build test race gate bench fuzz
+.PHONY: ci vet build test race gate bench benchcheck fuzz shardcheck
 
 ci: vet build race gate
 
@@ -38,8 +39,32 @@ bench:
 	mv BENCH_sim.json.tmp BENCH_sim.json
 	rm -f BENCH_sim.raw
 
-# Short fuzz passes over the property-based targets (grid-spec parsing,
-# τ-decomposition, Lambert W).
+# benchcheck is the regression gate: re-run the benchmark suite and fail
+# when any tracked benchmark regressed >25% in ns/op or allocs/op against
+# the committed BENCH_sim.json. allocs/op is machine-stable; ns/op on
+# shared CI hardware is noisy, so the CI job running this is advisory.
+benchcheck:
+	@set -e; tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	$(GO) test -run NONE -bench . -benchmem . > "$$tmp"; \
+	$(GO) run ./cmd/benchjson -compare BENCH_sim.json < "$$tmp"
+
+# shardcheck proves the distributed shard/merge path end to end: a 3-way
+# subprocess run of the full suite (and of a grid sweep) must render
+# byte-identically to the single-process run.
+shardcheck:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/experiments -seed 7 > "$$tmp/single.txt"; \
+	$(GO) run ./cmd/shardall -k 3 -seed 7 > "$$tmp/merged.txt"; \
+	diff "$$tmp/single.txt" "$$tmp/merged.txt"; \
+	$(GO) run ./cmd/experiments -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/single.txt"; \
+	$(GO) run ./cmd/shardall -k 4 -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/merged.txt"; \
+	diff "$$tmp/single.txt" "$$tmp/merged.txt"; \
+	echo "shard/merge output is byte-identical to the single-process run"
+
+# Short fuzz passes over the property-based targets (grid-spec and
+# shard-spec parsing, τ-decomposition, Lambert W). Override FUZZTIME for
+# shorter/longer passes, e.g. `make fuzz FUZZTIME=5s`.
 fuzz:
-	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime 10s ./internal/sweep
-	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime 10s ./internal/bounds
+	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run NONE -fuzz FuzzParseShard -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime $(FUZZTIME) ./internal/bounds

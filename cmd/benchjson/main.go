@@ -6,6 +6,7 @@
 // Usage:
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -merge BENCH_sim.json > new.json
+//	go test -run NONE -bench . -benchmem . | benchjson -compare BENCH_sim.json
 //
 // -merge FILE carries forward any top-level keys of an existing document
 // that this run does not produce — the hand-recorded baseline_pre_pr
@@ -13,6 +14,15 @@
 // baselines. A missing FILE is ignored. (Write to a temporary file and
 // rename, as `make bench` does: the shell truncates a direct `> FILE`
 // redirect before -merge can read it.)
+//
+// -compare FILE switches to regression-gate mode (`make benchcheck`):
+// instead of emitting JSON, the run on stdin is compared against the
+// benchmarks recorded in FILE, and the exit status is non-zero when any
+// tracked benchmark regressed by more than -threshold (default 0.25, i.e.
+// 25%) in ns/op or allocs/op. allocs/op is stable across machines; ns/op
+// on shared CI hardware is noisy, which is why the CI job wiring this gate
+// is advisory. Benchmarks present on only one side are reported but never
+// fail the gate.
 //
 // Output shape:
 //
@@ -35,13 +45,17 @@ import (
 	"flag"
 	"fmt"
 	"io/fs"
+	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
 
 func main() {
 	mergePath := flag.String("merge", "", "carry forward unknown top-level keys from this existing JSON document")
+	comparePath := flag.String("compare", "", "compare the run on stdin against this baseline document and fail on regressions")
+	threshold := flag.Float64("threshold", 0.25, "relative regression that fails -compare (0.25 = 25%)")
 	flag.Parse()
 
 	meta := map[string]string{}
@@ -91,6 +105,10 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *comparePath != "" {
+		os.Exit(compare(*comparePath, benches, *threshold))
+	}
+
 	out := map[string]any{"benchmarks": benches}
 	for _, k := range []string{"goos", "goarch", "cpu", "pkg"} {
 		if meta[k] != "" {
@@ -110,6 +128,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// compare reports the current run against the baseline document at path
+// and returns the process exit status: 1 when any benchmark tracked by the
+// baseline regressed by more than threshold in ns/op or allocs/op, 0
+// otherwise. Improvements and within-threshold drift are listed as "ok";
+// benchmarks on only one side are noted but never fail the gate (renames
+// and new benchmarks should not break CI).
+func compare(path string, current map[string]map[string]float64, threshold float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	var baseline struct {
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: compare %s: %v\n", path, err)
+		return 1
+	}
+	if len(baseline.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: compare %s: no recorded benchmarks\n", path)
+		return 1
+	}
+	if len(current) == 0 {
+		// Refuse to pass vacuously: zero parsed benchmarks means the bench
+		// invocation broke, not that nothing regressed.
+		fmt.Fprintln(os.Stderr, "benchjson: compare: no benchmark results on stdin")
+		return 1
+	}
+
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("?  %s: in baseline but not in this run\n", name)
+			continue
+		}
+		for _, metric := range []string{"ns_per_op", "allocs_per_op"} {
+			old, haveOld := baseline.Benchmarks[name][metric]
+			now, haveNow := cur[metric]
+			if !haveOld || !haveNow {
+				continue
+			}
+			delta := 0.0
+			if old != 0 {
+				delta = (now - old) / old
+			} else if now != 0 {
+				delta = math.Inf(1) // e.g. allocs/op going 0 -> n
+			}
+			if delta > threshold {
+				regressions++
+				fmt.Printf("REGRESSION %s %s: %g -> %g (%+.1f%%, gate %+.0f%%)\n",
+					name, metric, old, now, 100*delta, 100*threshold)
+			} else {
+				fmt.Printf("ok %s %s: %g -> %g (%+.1f%%)\n", name, metric, old, now, 100*delta)
+			}
+		}
+	}
+	fresh := make([]string, 0, len(current))
+	for name := range current {
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
+	sort.Strings(fresh)
+	for _, name := range fresh {
+		fmt.Printf("?  %s: new benchmark, no baseline\n", name)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d metric(s) regressed more than %.0f%% vs %s\n", regressions, 100*threshold, path)
+		return 1
+	}
+	fmt.Printf("benchjson: no regressions beyond %.0f%% vs %s\n", 100*threshold, path)
+	return 0
 }
 
 // mergeUnknownKeys copies top-level keys this run did not produce (recorded

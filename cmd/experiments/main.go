@@ -9,6 +9,7 @@
 //	experiments [-run ID] [-markdown] [-workers N] [-seed S] [-samples K]
 //	            [-cache] [-cachefile F] [-cachesize N] [-v]
 //	            [-grid spec]... [-gridalgo A]
+//	            [-shard I/K [-shardfile F]] [-merge F]...
 //
 //	-run ID       run a single experiment (e.g. E3); empty = all
 //	-markdown     emit GitHub-flavoured markdown instead of text
@@ -33,12 +34,31 @@
 //	              rendered as one table instead of the experiment suite
 //	-gridalgo A   algorithm for -grid: "search" (Alg. 4) or "universal"
 //
+// Distributed shard/merge execution — split any run (the suite, -run, or a
+// -grid sweep) across K independent processes and recombine bit-identically
+// (see internal/experiments shard.go; cmd/shardall automates it locally):
+//
+//	-shard I/K    execute only shard I of a K-way run (zero-based stride
+//	              partition over every sweep's job indices) and write the
+//	              per-job results to -shardfile instead of rendering
+//	              tables; per-job seeding is unchanged, so each job's
+//	              result is byte-identical to the single-process run
+//	-shardfile F  shard record file to write (default shard-I-of-K.jsonl)
+//	-merge F      merge shard record files (repeatable) and render the
+//	              final tables: recorded jobs are served instead of
+//	              re-executed, missing or damaged records recompute
+//	              locally to identical bytes. The other flags (-seed,
+//	              -samples, -grid, ...) must match the sharded runs;
+//	              unset -seed/-samples are adopted from the files.
+//
 // A non-zero exit status means a paper claim failed to reproduce.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -65,7 +85,7 @@ func main() {
 }
 
 func run() int {
-	var grids multiFlag
+	var grids, merges multiFlag
 	var (
 		id        = flag.String("run", "", "run a single experiment by id (e.g. E3); empty = all")
 		markdown  = flag.Bool("markdown", false, "emit GitHub-flavoured markdown instead of text")
@@ -77,17 +97,72 @@ func run() int {
 		cacheSize = flag.Int("cachesize", 0, "LRU capacity of the result cache (0 = default)")
 		verbose   = flag.Bool("v", false, "live sweep progress and timing summary on stderr")
 		gridAlgo  = flag.String("gridalgo", "search", `algorithm for -grid sweeps: "search" or "universal"`)
+		shardSpec = flag.String("shard", "", `execute one shard "I/K" of a distributed run and record it to -shardfile`)
+		shardFile = flag.String("shardfile", "", "shard record file to write (default shard-I-of-K.jsonl)")
 	)
 	flag.Var(&grids, "grid", `sweep axis "name=v1,v2,..." or "name=lo:hi:step" (repeatable)`)
+	flag.Var(&merges, "merge", "merge this shard record file into the run (repeatable)")
 	flag.Parse()
 
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+
 	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples}
+
+	// Shard/merge setup. The scope fingerprint ties shard files to the
+	// workload that produced them (suite vs. a specific grid).
+	if *shardSpec != "" && len(merges) > 0 {
+		return fail(errors.New("-shard and -merge are mutually exclusive"))
+	}
+	scope, err := experiments.ShardScope(grids, *gridAlgo)
+	if err != nil {
+		return fail(err)
+	}
+	out := io.Writer(os.Stdout)
+	if *shardSpec != "" {
+		shard, err := sweep.ParseShard(*shardSpec)
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Shard = shard
+		cfg.Store = experiments.NewShardStore()
+		if *shardFile == "" {
+			*shardFile = fmt.Sprintf("shard-%d-of-%d.jsonl", shard.Index, shard.Count)
+		}
+		// A shard's tables are partial by construction: only the record
+		// file is meaningful output.
+		out = io.Discard
+	} else if *shardFile != "" {
+		return fail(errors.New("-shardfile requires -shard I/K"))
+	}
+	if len(merges) > 0 {
+		store, metas, err := experiments.LoadShards(merges...)
+		if err != nil {
+			return fail(err)
+		}
+		if err := adoptShardMeta(&cfg, metas[0], scope); err != nil {
+			return fail(err)
+		}
+		present, k := experiments.Coverage(metas)
+		missing := make([]string, 0, k)
+		for i, p := range present {
+			if !p {
+				missing = append(missing, fmt.Sprintf("%d/%d", i, k))
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: shards %s not supplied; their jobs recompute locally\n",
+				strings.Join(missing, ", "))
+		}
+		cfg.Store = store
+	}
 
 	if *cacheFile != "" {
 		c, err := cache.Open(*cacheFile, *cacheSize)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			return 1
+			return fail(err)
 		}
 		cfg.Cache = c
 	} else if *useCache {
@@ -99,17 +174,26 @@ func run() int {
 		cfg.Monitor, finishProgress = stderrProgress(cfg.Cache)
 	}
 
-	var err error
 	switch {
 	case len(grids) > 0:
-		err = experiments.RunGridCfg(os.Stdout, *markdown, grids, *gridAlgo, cfg)
+		err = experiments.RunGridCfg(out, *markdown, grids, *gridAlgo, cfg)
 	case *id == "":
-		err = experiments.RunAllCfg(os.Stdout, *markdown, cfg)
+		err = experiments.RunAllCfg(out, *markdown, cfg)
 	default:
-		err = experiments.RunOneCfg(*id, os.Stdout, *markdown, cfg)
+		err = experiments.RunOneCfg(*id, out, *markdown, cfg)
 	}
 	if finishProgress != nil {
 		finishProgress()
+	}
+	if err == nil && *shardSpec != "" {
+		if err = cfg.Store.Save(*shardFile, cfg.Meta(scope)); err == nil {
+			fmt.Fprintf(os.Stderr, "experiments: shard %s: %d job records -> %s\n",
+				cfg.Shard, cfg.Store.Len(), *shardFile)
+		}
+	}
+	if err == nil && len(merges) > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: merged %d shard files: %d jobs served, %d recomputed locally\n",
+			len(merges), cfg.Store.Served(), cfg.Store.Recorded())
 	}
 	if cfg.Cache != nil {
 		if serr := cfg.Cache.Save(); serr != nil && err == nil {
@@ -117,10 +201,37 @@ func run() int {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		return 1
+		return fail(err)
 	}
 	return 0
+}
+
+// adoptShardMeta reconciles the merge invocation's flags with the shard
+// files' recorded fingerprint: explicitly set flags must match (mixing
+// workloads would silently corrupt tables); unset -seed/-samples adopt the
+// recorded values so a bare `-merge` just works.
+func adoptShardMeta(cfg *experiments.Config, meta experiments.ShardMeta, scope string) error {
+	if meta.Scope != scope {
+		return fmt.Errorf("shard files were produced for scope %q but this invocation is %q (pass the same -grid/-gridalgo flags)",
+			meta.Scope, scope)
+	}
+	seedSet, samplesSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			seedSet = true
+		case "samples":
+			samplesSet = true
+		}
+	})
+	if seedSet && cfg.Seed != meta.Seed {
+		return fmt.Errorf("-seed %d conflicts with the shard files' seed %d", cfg.Seed, meta.Seed)
+	}
+	if samplesSet && cfg.Samples != meta.Samples {
+		return fmt.Errorf("-samples %d conflicts with the shard files' samples %d", cfg.Samples, meta.Samples)
+	}
+	cfg.Seed, cfg.Samples = meta.Seed, meta.Samples
+	return nil
 }
 
 // stderrProgress returns a sweep monitor that keeps one live progress line

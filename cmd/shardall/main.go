@@ -1,0 +1,189 @@
+// Command shardall demonstrates distributed shard/merge execution locally:
+// it launches K experiments subprocesses — one per shard, each executing
+// only its own stride of every sweep's job indices and recording the
+// results to a shard file — waits for them, then runs one merge subprocess
+// that recombines the shard files and renders the final tables to stdout.
+// The merged output is byte-identical to a plain single-process
+// `experiments` run with the same flags (per-job seeding never depends on
+// which process ran a job); `diff <(experiments ...) <(shardall ...)` is
+// empty. The same mechanics distribute across machines: run the -shard
+// command on each worker, copy the record files, and -merge them anywhere.
+//
+// Usage:
+//
+//	shardall [-k K] [-bin CMD] [-dir D] [-keep]
+//	         [-run ID] [-markdown] [-seed S] [-samples N] [-workers W]
+//	         [-grid spec]... [-gridalgo A] [-cache] [-cachesize N]
+//
+//	-k K        number of shard subprocesses (default 3)
+//	-bin CMD    command to run one shard, split on spaces (default
+//	            "go run ./cmd/experiments" — run shardall from the
+//	            repository root, or point -bin at a built binary)
+//	-dir D      directory for the shard record files (default: a
+//	            temporary directory, removed afterwards)
+//	-keep       keep the shard record files for inspection
+//
+// The remaining flags are forwarded verbatim to every subprocess; see
+// cmd/experiments for their meaning. Per-shard wall times and a summary
+// are reported on stderr.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ", ") }
+
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var grids multiFlag
+	var (
+		k         = flag.Int("k", 3, "number of shard subprocesses")
+		bin       = flag.String("bin", "go run ./cmd/experiments", "command to run one shard (split on spaces)")
+		dir       = flag.String("dir", "", "directory for shard record files (default: a temp dir)")
+		keep      = flag.Bool("keep", false, "keep the shard record files")
+		id        = flag.String("run", "", "forwarded: run a single experiment by id")
+		markdown  = flag.Bool("markdown", false, "forwarded: emit markdown")
+		seed      = flag.Int64("seed", 0, "forwarded: base seed")
+		samples   = flag.Int("samples", 0, "forwarded: Monte-Carlo draws per grid cell")
+		workers   = flag.Int("workers", 0, "forwarded: sweep workers per subprocess")
+		gridAlgo  = flag.String("gridalgo", "search", "forwarded: -grid algorithm")
+		useCache  = flag.Bool("cache", false, "forwarded: in-memory result cache per subprocess")
+		cacheSize = flag.Int("cachesize", 0, "forwarded: cache capacity")
+	)
+	flag.Var(&grids, "grid", "forwarded: sweep axis (repeatable)")
+	flag.Parse()
+
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, "shardall:", err)
+		return 1
+	}
+	if *k < 1 {
+		return fail(fmt.Errorf("-k %d: want at least 1 shard", *k))
+	}
+	binParts := strings.Fields(*bin)
+	if len(binParts) == 0 {
+		return fail(fmt.Errorf("-bin is empty"))
+	}
+
+	if *dir == "" {
+		tmp, err := os.MkdirTemp("", "shardall-*")
+		if err != nil {
+			return fail(err)
+		}
+		if !*keep {
+			defer os.RemoveAll(tmp)
+		}
+		*dir = tmp
+	} else if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fail(err)
+	}
+
+	// Flags every subprocess shares. Seed/samples/workers are always passed
+	// explicitly so the shards and the merge agree on the workload
+	// fingerprint by construction.
+	shared := []string{
+		"-seed", fmt.Sprint(*seed),
+		"-samples", fmt.Sprint(*samples),
+		"-workers", fmt.Sprint(*workers),
+	}
+	if *id != "" {
+		shared = append(shared, "-run", *id)
+	}
+	if *markdown {
+		shared = append(shared, "-markdown")
+	}
+	for _, g := range grids {
+		shared = append(shared, "-grid", g)
+	}
+	if len(grids) > 0 {
+		shared = append(shared, "-gridalgo", *gridAlgo)
+	}
+	if *useCache {
+		shared = append(shared, "-cache")
+		if *cacheSize != 0 {
+			shared = append(shared, "-cachesize", fmt.Sprint(*cacheSize))
+		}
+	}
+
+	// Phase 1: the K shard subprocesses, concurrently — the local stand-in
+	// for K machines.
+	files := make([]string, *k)
+	seconds := make([]float64, *k)
+	errs := make([]error, *k)
+	stderrs := make([]bytes.Buffer, *k)
+	var wg sync.WaitGroup
+	for i := 0; i < *k; i++ {
+		files[i] = filepath.Join(*dir, fmt.Sprintf("shard-%d-of-%d.jsonl", i, *k))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			args := append([]string{}, binParts[1:]...)
+			args = append(args, "-shard", fmt.Sprintf("%d/%d", i, *k), "-shardfile", files[i])
+			args = append(args, shared...)
+			cmd := exec.Command(binParts[0], args...)
+			cmd.Stdout = nil // shards render nothing
+			cmd.Stderr = &stderrs[i]
+			start := time.Now()
+			errs[i] = cmd.Run()
+			seconds[i] = time.Since(start).Seconds()
+		}(i)
+	}
+	wg.Wait()
+	failed := false
+	for i, err := range errs {
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "shardall: shard %d/%d failed: %v\n%s", i, *k, err, stderrs[i].String())
+		} else {
+			fmt.Fprintf(os.Stderr, "shardall: shard %d/%d done in %.2fs\n", i, *k, seconds[i])
+		}
+	}
+	if failed {
+		return 1
+	}
+	s := analysis.Summarize(seconds)
+	fmt.Fprintf(os.Stderr, "shardall: %d shards, wall s min/mean/p90/max = %.2f/%.2f/%.2f/%.2f\n",
+		*k, s.Min, s.Mean, s.P90, s.Max)
+
+	// Phase 2: one merge subprocess recombines the records and renders the
+	// tables — exactly the command a user would run on the collector
+	// machine.
+	args := append([]string{}, binParts[1:]...)
+	for _, f := range files {
+		args = append(args, "-merge", f)
+	}
+	args = append(args, shared...)
+	merge := exec.Command(binParts[0], args...)
+	merge.Stdout = os.Stdout
+	merge.Stderr = os.Stderr
+	start := time.Now()
+	if err := merge.Run(); err != nil {
+		return fail(fmt.Errorf("merge: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "shardall: merge done in %.2fs\n", time.Since(start).Seconds())
+	if *keep {
+		fmt.Fprintf(os.Stderr, "shardall: shard records kept in %s\n", *dir)
+	}
+	return 0
+}

@@ -32,11 +32,14 @@
 //
 // All methods are safe for concurrent use; the compute-through helpers are
 // additionally nil-receiver safe (a nil *Cache simply computes), so callers
-// can thread an optional cache without branching.
+// can thread an optional cache without branching, and they deduplicate
+// concurrent identical computations (singleflight): when many workers miss
+// on the same key at once, one simulates and the rest wait for its result.
 package cache
 
 import (
 	"container/list"
+	"errors"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -137,20 +140,33 @@ func instanceKey(in sim.Instance, opt sim.Options) Key {
 }
 
 // Cache is a concurrency-safe LRU memoizer of simulation results with an
-// optional on-disk layer (see Open).
+// optional on-disk layer (see Open). The compute-through helpers
+// additionally deduplicate in-flight computations (singleflight): when
+// several workers miss on the same key concurrently — a warm-up sweep at a
+// high worker count hitting one hot cell — only the first simulates; the
+// rest wait for its result instead of re-simulating before the Put lands.
 type Cache struct {
-	hits, misses atomic.Uint64
+	hits, misses, dedups atomic.Uint64
 
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	index map[Key]*list.Element
-	path  string // "" = memory only
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	index  map[Key]*list.Element
+	flight map[Key]*flightCall // in-flight compute-through calls
+	path   string              // "" = memory only
 }
 
 type entry struct {
 	key Key
 	res sim.Result
+}
+
+// flightCall is one in-flight computation: the leader closes done once res
+// and err are final, and every waiter reads them afterwards.
+type flightCall struct {
+	done chan struct{}
+	res  sim.Result
+	err  error
 }
 
 // New returns an in-memory cache holding at most capacity results
@@ -160,9 +176,10 @@ func New(capacity int) *Cache {
 		capacity = DefaultCapacity
 	}
 	return &Cache{
-		cap:   capacity,
-		ll:    list.New(),
-		index: make(map[Key]*list.Element),
+		cap:    capacity,
+		ll:     list.New(),
+		index:  make(map[Key]*list.Element),
+		flight: make(map[Key]*flightCall),
 	}
 }
 
@@ -217,14 +234,16 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters. Dedups counts
+// compute-through calls that joined an in-flight identical computation
+// instead of simulating (each also counted one miss when it looked up).
 type Stats struct {
-	Hits, Misses uint64
-	Len, Cap     int
+	Hits, Misses, Dedups uint64
+	Len, Cap             int
 }
 
-// Stats returns the current hit/miss counters and occupancy. A nil receiver
-// reports zeros.
+// Stats returns the current hit/miss/dedup counters and occupancy. A nil
+// receiver reports zeros.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
@@ -233,25 +252,72 @@ func (c *Cache) Stats() Stats {
 	n := c.ll.Len()
 	capacity := c.cap
 	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Len: n, Cap: capacity}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Dedups: c.dedups.Load(), Len: n, Cap: capacity}
+}
+
+// errFlightAborted is the sentinel a follower observes when the leader's
+// computation ended without recording a result (e.g. a panic unwound it);
+// the follower then computes independently.
+var errFlightAborted = errors.New("cache: in-flight computation aborted")
+
+// do returns the result for k, computing it through compute at most once
+// across concurrent callers: the first miss becomes the leader and
+// simulates; followers that miss on the same key while the leader is in
+// flight wait for its result instead of re-simulating. A leader error is
+// not shared — errors always propagate from a fresh computation, so every
+// follower recomputes and observes the (deterministic) error itself. A nil
+// receiver computes directly.
+func (c *Cache) do(k Key, compute func() (sim.Result, error)) (sim.Result, error) {
+	if c == nil {
+		return compute()
+	}
+	if res, ok := c.Get(k); ok {
+		return res, nil
+	}
+	c.mu.Lock()
+	// Re-check under the lock: the computation that made us miss may have
+	// landed its Put (and left the flight map) between Get and here.
+	if el, ok := c.index[k]; ok {
+		c.ll.MoveToFront(el)
+		res := el.Value.(*entry).res
+		c.mu.Unlock()
+		return res, nil
+	}
+	if call, ok := c.flight[k]; ok {
+		c.mu.Unlock()
+		c.dedups.Add(1)
+		<-call.done
+		if call.err == nil {
+			return call.res, nil
+		}
+		return compute()
+	}
+	call := &flightCall{done: make(chan struct{}), err: errFlightAborted}
+	c.flight[k] = call
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.flight, k)
+		c.mu.Unlock()
+		close(call.done)
+	}()
+	call.res, call.err = compute()
+	if call.err == nil {
+		c.Put(k, call.res)
+	}
+	return call.res, call.err
 }
 
 // Search is sim.Search memoized under SearchKey. Only successful results
-// are cached; errors always propagate from a fresh computation.
+// are cached; errors always propagate from a fresh computation. Concurrent
+// identical calls simulate once (see do).
 func (c *Cache) Search(program string, mk func() trajectory.Source, target geom.Vec, r float64, opt sim.Options) (sim.Result, error) {
 	if c == nil {
 		return sim.Search(mk(), target, r, opt)
 	}
-	k := SearchKey(program, target, r, opt)
-	if res, ok := c.Get(k); ok {
-		return res, nil
-	}
-	res, err := sim.Search(mk(), target, r, opt)
-	if err != nil {
-		return res, err
-	}
-	c.Put(k, res)
-	return res, nil
+	return c.do(SearchKey(program, target, r, opt), func() (sim.Result, error) {
+		return sim.Search(mk(), target, r, opt)
+	})
 }
 
 // Rendezvous is sim.Rendezvous memoized under RendezvousKey.
@@ -259,16 +325,9 @@ func (c *Cache) Rendezvous(program string, mk func() trajectory.Source, in sim.I
 	if c == nil {
 		return sim.Rendezvous(mk(), in, opt)
 	}
-	k := RendezvousKey(program, in, opt)
-	if res, ok := c.Get(k); ok {
-		return res, nil
-	}
-	res, err := sim.Rendezvous(mk(), in, opt)
-	if err != nil {
-		return res, err
-	}
-	c.Put(k, res)
-	return res, nil
+	return c.do(RendezvousKey(program, in, opt), func() (sim.Result, error) {
+		return sim.Rendezvous(mk(), in, opt)
+	})
 }
 
 // Asymmetric is sim.RendezvousAsymmetric memoized under AsymmetricKey.
@@ -276,16 +335,9 @@ func (c *Cache) Asymmetric(programA, programB string, mkA, mkB func() trajectory
 	if c == nil {
 		return sim.RendezvousAsymmetric(mkA(), mkB(), in, opt)
 	}
-	k := AsymmetricKey(programA, programB, in, opt)
-	if res, ok := c.Get(k); ok {
-		return res, nil
-	}
-	res, err := sim.RendezvousAsymmetric(mkA(), mkB(), in, opt)
-	if err != nil {
-		return res, err
-	}
-	c.Put(k, res)
-	return res, nil
+	return c.do(AsymmetricKey(programA, programB, in, opt), func() (sim.Result, error) {
+		return sim.RendezvousAsymmetric(mkA(), mkB(), in, opt)
+	})
 }
 
 // FirstMeeting is sim.FirstMeeting memoized under MeetingKey. The id must
@@ -294,14 +346,7 @@ func (c *Cache) FirstMeeting(id string, mkA, mkB func() trajectory.Source, r flo
 	if c == nil {
 		return sim.FirstMeeting(mkA(), mkB(), r, opt)
 	}
-	k := MeetingKey(id, r, opt)
-	if res, ok := c.Get(k); ok {
-		return res, nil
-	}
-	res, err := sim.FirstMeeting(mkA(), mkB(), r, opt)
-	if err != nil {
-		return res, err
-	}
-	c.Put(k, res)
-	return res, nil
+	return c.do(MeetingKey(id, r, opt), func() (sim.Result, error) {
+		return sim.FirstMeeting(mkA(), mkB(), r, opt)
+	})
 }

@@ -1,24 +1,19 @@
 package cache
 
 import (
-	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
 
 	"repro/internal/sim"
 )
 
-// The on-disk layer is a JSON-lines file: one {"k": Key, "r": Result}
-// object per line, oldest entry first. Go's JSON encoder emits the shortest
-// decimal representation of every float64, which round-trips bit-exactly,
-// so a result served from disk is indistinguishable from a fresh
-// simulation. Malformed lines (a truncated tail after a crash, say) are
-// skipped rather than fatal: the cache is an accelerator, never a source of
-// truth.
+// The on-disk layer is a JSON-lines file (see lines.go): one
+// {"k": Key, "r": Result} object per line, oldest entry first. Go's JSON
+// encoder emits the shortest decimal representation of every float64, which
+// round-trips bit-exactly, so a result served from disk is indistinguishable
+// from a fresh simulation. Malformed lines (a truncated tail after a crash,
+// say) are skipped rather than fatal: the cache is an accelerator, never a
+// source of truth.
 
 type diskEntry struct {
 	K Key        `json:"k"`
@@ -31,25 +26,16 @@ type diskEntry struct {
 func Open(path string, capacity int) (*Cache, error) {
 	c := New(capacity)
 	c.path = path
-	f, err := os.Open(path)
-	if errors.Is(err, fs.ErrNotExist) {
-		return c, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("cache: open %s: %w", path, err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
+	_, err := ReadJSONLines(path, func(data []byte) error {
 		var e diskEntry
-		if json.Unmarshal(sc.Bytes(), &e) != nil {
-			continue // damaged line: skip, do not fail the run
+		if json.Unmarshal(data, &e) != nil {
+			return nil // damaged line: skip, do not fail the run
 		}
 		c.Put(e.K, e.R)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("cache: read %s: %w", path, err)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cache: %w", err)
 	}
 	return c, nil
 }
@@ -78,28 +64,15 @@ func (c *Cache) Save() error {
 	}
 	c.mu.Unlock()
 
-	dir := filepath.Dir(c.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(c.path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("cache: save: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
-	enc := json.NewEncoder(w)
-	for _, e := range entries {
-		if err := enc.Encode(e); err != nil {
-			tmp.Close()
-			return fmt.Errorf("cache: save: %w", err)
+	err := WriteJSONLines(c.path, func(enc *json.Encoder) error {
+		for _, e := range entries {
+			if err := enc.Encode(e); err != nil {
+				return err
+			}
 		}
-	}
-	if err := w.Flush(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("cache: save: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("cache: save: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		return nil
+	})
+	if err != nil {
 		return fmt.Errorf("cache: save: %w", err)
 	}
 	return nil

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestSingleflightDedup: concurrent compute-through calls on one cold key
+// simulate exactly once — the followers wait for the leader's result
+// instead of racing their own computation in before the Put lands.
+func TestSingleflightDedup(t *testing.T) {
+	c := New(16)
+	k := Key{Kind: "search", Program: "flight"}
+	var computes atomic.Int64
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]sim.Result, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := c.do(k, func() (sim.Result, error) {
+				computes.Add(1)
+				time.Sleep(10 * time.Millisecond) // hold the flight open
+				return sim.Result{Met: true, Time: 42}, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", g, err)
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Errorf("cold key computed %d times under %d concurrent callers", n, callers)
+	}
+	for g, res := range results {
+		if !res.Met || res.Time != 42 {
+			t.Errorf("caller %d got %+v", g, res)
+		}
+	}
+	if s := c.Stats(); s.Dedups == 0 {
+		t.Errorf("no dedups counted: %+v", s)
+	}
+	// The key is now cached: further calls hit without computing.
+	if _, err := c.do(k, func() (sim.Result, error) {
+		t.Error("warm key recomputed")
+		return sim.Result{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleflightErrorNotShared: a leader error is not served to the
+// followers — each recomputes so errors always propagate from a fresh
+// computation — and nothing is cached.
+func TestSingleflightErrorNotShared(t *testing.T) {
+	c := New(16)
+	k := Key{Kind: "search", Program: "boom"}
+	sentinel := errors.New("simulation failed")
+	var computes atomic.Int64
+	const callers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.do(k, func() (sim.Result, error) {
+				computes.Add(1)
+				time.Sleep(5 * time.Millisecond)
+				return sim.Result{}, sentinel
+			})
+			if !errors.Is(err, sentinel) {
+				t.Errorf("got %v, want the computation error", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n < 1 || n > callers {
+		t.Errorf("computed %d times", n)
+	}
+	if c.Len() != 0 {
+		t.Errorf("failed computation was cached: %d entries", c.Len())
+	}
+}
+
+// TestSingleflightNilReceiver: a nil cache computes every call directly.
+func TestSingleflightNilReceiver(t *testing.T) {
+	var c *Cache
+	var computes int
+	for i := 0; i < 3; i++ {
+		if _, err := c.do(Key{Kind: "x"}, func() (sim.Result, error) {
+			computes++
+			return sim.Result{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computes != 3 {
+		t.Errorf("nil cache computed %d of 3 calls", computes)
+	}
+}

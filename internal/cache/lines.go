@@ -1,0 +1,75 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// The JSON-lines file layer: one JSON document per line, written through a
+// temporary file and an atomic rename so a concurrent reader never observes
+// a partial file. It backs the result cache's disk layer and doubles as the
+// interchange format for distributed shard/merge runs (see
+// internal/experiments), which is why it lives here as a standalone pair of
+// helpers rather than inside Save/Open.
+
+// WriteJSONLines streams JSON lines produced by emit into the file at path.
+// emit writes documents through the encoder (one Encode call per line). The
+// file appears atomically: a temporary sibling is written, flushed, closed,
+// and renamed over path only when emit and every flush succeeded.
+func WriteJSONLines(path string, emit func(enc *json.Encoder) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	w := bufio.NewWriter(tmp)
+	if err := emit(json.NewEncoder(w)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadJSONLines calls line with the raw bytes of every line of the file at
+// path (the buffer is only valid during the call). A missing file reports
+// found = false with no error, so callers can treat it as empty. What to do
+// with a line that fails to decode is the caller's policy — the cache and
+// the shard interchange both skip damaged lines rather than fail, because
+// both layers are accelerators, never sources of truth.
+func ReadJSONLines(path string, line func(data []byte) error) (found bool, err error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("read %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if err := line(sc.Bytes()); err != nil {
+			return true, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return true, fmt.Errorf("read %s: %w", path, err)
+	}
+	return true, nil
+}

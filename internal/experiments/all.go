@@ -51,17 +51,20 @@ type rowJob func(rng *rand.Rand) ([]any, error)
 
 // runRows executes one job per prospective row through the sweep pool and
 // appends the rows to t in job order, so the table is identical for every
-// worker count.
+// worker count. Cells are formatted inside the job: the sweep result is the
+// final []string row, which a shard/merge exchange carries byte-exactly.
 func runRows(t *Table, cfg Config, jobs []rowJob) error {
-	rows, err := sweep.Run(len(jobs), func(i int, rng *rand.Rand) ([]any, error) {
-		return jobs[i](rng)
+	rows, err := sweep.Run(len(jobs), func(i int, rng *rand.Rand) ([]string, error) {
+		cells, err := jobs[i](rng)
+		if err != nil {
+			return nil, err
+		}
+		return formatCells(cells), nil
 	}, cfg.sweepOptions())
 	if err != nil {
 		return err
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
+	t.Rows = append(t.Rows, rows...)
 	return nil
 }
 
@@ -96,7 +99,11 @@ func runAll(w io.Writer, markdown bool, cfg Config, runners []Runner) error {
 	for i, r := range runners {
 		done[i] = make(chan outcome, 1)
 		go func(i int, r Runner) {
-			table, err := r.Run(cfg)
+			// Each runner numbers its own sweeps, so shard-exchange batch
+			// names ("E3#0", ...) are deterministic under any scheduling.
+			rcfg := cfg
+			rcfg.batch = &batchCounter{prefix: r.ID}
+			table, err := r.Run(rcfg)
 			done[i] <- outcome{table, err}
 		}(i, r)
 	}
@@ -132,6 +139,7 @@ func RunOneCfg(id string, w io.Writer, markdown bool, cfg Config) error {
 		if r.ID != id {
 			continue
 		}
+		cfg.batch = &batchCounter{prefix: r.ID}
 		table, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", r.ID, err)

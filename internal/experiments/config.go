@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/cache"
 	"repro/internal/sweep"
 )
@@ -28,13 +30,49 @@ type Config struct {
 	// Monitor, when non-nil, receives per-job progress and timing from
 	// every sweep the experiments run.
 	Monitor *sweep.Monitor
+	// Shard restricts every sweep to the job indices one slice of a K-way
+	// distributed run owns (see sweep.Shard); the zero value runs
+	// everything. A sharded run's tables are partial garbage — render them
+	// to io.Discard and keep only the Store records, which a merge run
+	// recombines into the exact single-process output.
+	Shard sweep.Shard
+	// Store, when non-nil, exchanges per-job sweep results across
+	// processes: a sharded run records the jobs it executes, a merge run
+	// is served the union of the shards' records and recomputes only what
+	// is missing (producing identical bytes either way). Store is honoured
+	// only through the RunAllCfg / RunOneCfg / RunGridCfg entry points,
+	// which assign each sweep its deterministic batch name.
+	Store *ShardStore
 
 	// pool is the shared worker pool RunAllCfg installs so that the whole
 	// suite draws from one worker budget; nil means each experiment fans
 	// out on its own goroutines (still capped at Workers per experiment).
 	pool *sweep.Pool
+	// batch mints the deterministic per-sweep batch names ("E3#0",
+	// "E3#1", ...) that key the Store records. Each runner gets its own
+	// counter, so names are stable however the suite is scheduled.
+	batch *batchCounter
+}
+
+// batchCounter numbers the sweeps of one experiment in call order. Sweeps
+// inside a runner are sequential, so a plain counter is deterministic; the
+// pointer is shared by the Config copies handed down within that runner.
+type batchCounter struct {
+	prefix string
+	n      int
+}
+
+func (b *batchCounter) next() string {
+	id := fmt.Sprintf("%s#%d", b.prefix, b.n)
+	b.n++
+	return id
 }
 
 func (c Config) sweepOptions() sweep.Options {
-	return sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.pool, Monitor: c.Monitor}
+	opt := sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.pool, Monitor: c.Monitor, Shard: c.Shard}
+	if c.Store != nil && c.batch != nil {
+		opt.Exchange = c.Store
+		opt.Batch = c.batch.next()
+	}
+	return opt
 }

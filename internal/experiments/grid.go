@@ -106,9 +106,14 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 	if samples < 1 {
 		samples = 1
 	}
+	if cfg.batch == nil {
+		cfg.batch = &batchCounter{prefix: "GRID"}
+	}
+	// Exported fields with JSON tags: the cell is the per-job record a
+	// distributed shard exchanges, so it must round-trip exactly.
 	type outcome struct {
-		met  bool
-		time float64
+		Met  bool    `json:"met"`
+		Time float64 `json:"t"`
 	}
 	cells, err := sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (outcome, error) {
 		in, err := applyGridPoint(names, point)
@@ -126,7 +131,7 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 		if err != nil {
 			return outcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
 		}
-		return outcome{res.Met, res.Time}, nil
+		return outcome{Met: res.Met, Time: res.Time}, nil
 	}, cfg.sweepOptions())
 	if err != nil {
 		return err
@@ -142,8 +147,8 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 		point := grid.Point(ci)
 		times := make([]float64, 0, samples)
 		for _, o := range cells[ci*samples : (ci+1)*samples] {
-			if o.met {
-				times = append(times, o.time)
+			if o.Met {
+				times = append(times, o.Time)
 			}
 		}
 		s := analysis.Summarize(times)

@@ -23,6 +23,14 @@ type Table struct {
 
 // AddRow appends a row of cells formatted with %v / %.6g for floats.
 func (t *Table) AddRow(cells ...any) {
+	t.Rows = append(t.Rows, formatCells(cells))
+}
+
+// formatCells renders raw cells into the table's string form. Row-shaped
+// sweep jobs format inside the job (see runRows), so the per-job record a
+// distributed shard exchanges is the final cell text — strings round-trip
+// through JSON exactly, where a mixed []any would not.
+func formatCells(cells []any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
@@ -34,7 +42,7 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = fmt.Sprintf("%v", v)
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	return row
 }
 
 // Render writes the table as aligned plain text.

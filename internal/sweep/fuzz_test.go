@@ -6,6 +6,37 @@ import (
 	"testing"
 )
 
+// FuzzParseShard drives arbitrary specs through the shard-spec parser: it
+// must never panic, every accepted shard must be a valid partition slice
+// (0 ≤ Index < Count), and the String round trip must re-parse equal.
+func FuzzParseShard(f *testing.F) {
+	for _, seed := range []string{
+		"0/1", "0/3", "2/3", "1/4", "3/3", "-1/3", "0/0", "1", "/", "a/b",
+		"1/3/5", " 2 / 7 ", "010/0x3", "+1/+2", "9999999999999999999/3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseShard(spec)
+		if err != nil {
+			return
+		}
+		if s.Count < 1 || s.Index < 0 || s.Index >= s.Count {
+			t.Fatalf("ParseShard(%q) accepted invalid shard %+v", spec, s)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseShard(%q) = %v fails Validate: %v", spec, s, err)
+		}
+		b, err := ParseShard(s.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", s.String(), spec, err)
+		}
+		if b != s {
+			t.Fatalf("round trip changed shard: %v vs %v", s, b)
+		}
+	})
+}
+
 // FuzzParseAxis drives arbitrary specs through the grid parser: it must
 // never panic, every accepted axis must contain only finite values, and the
 // String round trip must re-parse to the same axis.

@@ -16,6 +16,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"math/rand"
 	"runtime"
@@ -40,6 +41,19 @@ type Options struct {
 	Pool *Pool
 	// Monitor, when non-nil, receives per-job progress and timing.
 	Monitor *Monitor
+	// Shard restricts the run to the job indices it owns (see Shard); the
+	// zero value runs everything. Skipped jobs leave their result slot at
+	// the zero value — a sharded run is one slice of a distributed whole,
+	// recombined through an Exchange.
+	Shard Shard
+	// Exchange, when non-nil, persists per-job results across processes:
+	// executed jobs are recorded under (Batch, index), and jobs whose
+	// result is already recorded are served without executing. See Exchange.
+	Exchange Exchange
+	// Batch names this Run call inside the Exchange namespace. Callers
+	// running several sweeps against one exchange must give each a
+	// distinct, deterministic name.
+	Batch string
 }
 
 func (o Options) workers() int {
@@ -74,7 +88,10 @@ func Rand(base int64, index int) *rand.Rand {
 // goroutines and returns the results in index order. The rng passed to job
 // i is derived from (opt.BaseSeed, i), so output is independent of worker
 // count and scheduling. If any job fails, outstanding jobs are abandoned
-// and the error of the lowest-index failed job is returned.
+// and the error of the lowest-index failed job is returned. An opt.Shard
+// restricts execution to the indices it owns (the skipped slots stay zero);
+// an opt.Exchange serves already-recorded jobs and records computed ones,
+// so K sharded runs recombine into the full result set bit-exactly.
 func Run[T any](n int, fn func(i int, rng *rand.Rand) (T, error), opt Options) ([]T, error) {
 	return RunContext(context.Background(), n, fn, opt)
 }
@@ -89,12 +106,38 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 	if fn == nil {
 		return nil, errors.New("sweep: nil job function")
 	}
+	if err := opt.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	results := make([]T, n)
 	errs := make([]error, n)
 	canceled := false
 
+	if x := opt.Exchange; x != nil {
+		// Serve recorded results instead of executing, record what does
+		// execute. A record that fails to decode is treated as absent: the
+		// job recomputes locally and produces the identical result from its
+		// (BaseSeed, index) RNG.
+		inner := fn
+		fn = func(i int, rng *rand.Rand) (T, error) {
+			if raw, ok := x.Lookup(opt.Batch, i); ok {
+				var v T
+				if json.Unmarshal(raw, &v) == nil {
+					return v, nil
+				}
+			}
+			v, err := inner(i, rng)
+			if err == nil {
+				if raw, ok := roundTrips(v); ok {
+					x.Record(opt.Batch, i, raw)
+				}
+			}
+			return v, err
+		}
+	}
+
 	if opt.Monitor != nil {
-		opt.Monitor.add(n)
+		opt.Monitor.add(opt.Shard.CountIn(n))
 		inner := fn
 		fn = func(i int, rng *rand.Rand) (T, error) {
 			start := time.Now()
@@ -110,6 +153,9 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 		// Serial path: run in the calling goroutine. Results are identical
 		// to the parallel path by construction (same per-index seeds).
 		for i := 0; i < n; i++ {
+			if !opt.Shard.Owns(i) {
+				continue
+			}
 			if ctx.Err() != nil {
 				canceled = true
 				break
@@ -126,8 +172,8 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 		defer cancel()
 		indices := make(chan int)
 		var wg sync.WaitGroup
-		if workers > n {
-			workers = n
+		if owned := opt.Shard.CountIn(n); workers > owned {
+			workers = owned
 		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -144,6 +190,9 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 		}
 	feed:
 		for i := 0; i < n; i++ {
+			if !opt.Shard.Owns(i) {
+				continue
+			}
 			select {
 			case indices <- i:
 			case <-inner.Done():
@@ -180,6 +229,9 @@ func runPooled[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand)
 	var skipped atomic.Bool
 feed:
 	for i := 0; i < n; i++ {
+		if !opt.Shard.Owns(i) {
+			continue
+		}
 		i := i
 		job := func() {
 			defer wg.Done()
