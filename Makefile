@@ -32,12 +32,15 @@ gate:
 # the performance trajectory is tracked across PRs. The intermediate file
 # (rather than a pipe) makes a failing benchmark run abort the recipe before
 # BENCH_sim.json is touched, and the -merge + rename dance preserves the
-# hand-recorded baseline_pre_pr section.
+# hand-recorded baseline_pre_pr section. Each recording is also appended to
+# the committed BENCH_history.jsonl trajectory log (one JSON line per run),
+# the data a windowed-median ns/op gate needs on noisy shared hardware.
 bench:
 	$(GO) test -run NONE -bench . -benchmem . > BENCH_sim.raw
 	$(GO) run ./cmd/benchjson -merge BENCH_sim.json < BENCH_sim.raw > BENCH_sim.json.tmp
 	mv BENCH_sim.json.tmp BENCH_sim.json
 	rm -f BENCH_sim.raw
+	$(GO) run ./cmd/benchjson -append BENCH_history.jsonl < BENCH_sim.json
 
 # benchcheck is the regression gate: re-run the benchmark suite and fail
 # when any tracked benchmark regressed >25% in ns/op or allocs/op against
@@ -50,16 +53,26 @@ benchcheck:
 
 # shardcheck proves the distributed shard/merge path end to end: a 3-way
 # subprocess run of the full suite (and of a grid sweep) must render
-# byte-identically to the single-process run.
+# byte-identically to the single-process run; so must a streaming merge
+# (-stream / experiments -merge-dir, ingesting record files as they land)
+# with one straggler shard whose first attempt is killed and retried
+# (scripts/flaky-shard.sh fails shard 1/3 once, -retries recovers it).
 shardcheck:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/experiments -seed 7 > "$$tmp/single.txt"; \
-	$(GO) run ./cmd/shardall -k 3 -seed 7 > "$$tmp/merged.txt"; \
+	$(GO) build -o "$$tmp/experiments" ./cmd/experiments; \
+	$(GO) build -o "$$tmp/shardall" ./cmd/shardall; \
+	"$$tmp/experiments" -seed 7 > "$$tmp/single.txt"; \
+	"$$tmp/shardall" -bin "$$tmp/experiments" -k 3 -seed 7 > "$$tmp/merged.txt"; \
 	diff "$$tmp/single.txt" "$$tmp/merged.txt"; \
-	$(GO) run ./cmd/experiments -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/single.txt"; \
-	$(GO) run ./cmd/shardall -k 4 -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/merged.txt"; \
-	diff "$$tmp/single.txt" "$$tmp/merged.txt"; \
-	echo "shard/merge output is byte-identical to the single-process run"
+	"$$tmp/experiments" -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/gsingle.txt"; \
+	"$$tmp/shardall" -bin "$$tmp/experiments" -k 4 -seed 3 -samples 4 -grid "v=0.25:0.75:0.25" -grid "phi=0:2:1" > "$$tmp/gmerged.txt"; \
+	diff "$$tmp/gsingle.txt" "$$tmp/gmerged.txt"; \
+	FLAKY_BIN="$$tmp/experiments" FLAKY_SHARD=1/3 FLAKY_MARK="$$tmp/flaky.mark" \
+	  "$$tmp/shardall" -bin scripts/flaky-shard.sh -k 3 -seed 7 -retries 1 -stream \
+	  > "$$tmp/streamed.txt" 2> "$$tmp/straggler.log"; \
+	diff "$$tmp/single.txt" "$$tmp/streamed.txt"; \
+	grep -q "retrying" "$$tmp/straggler.log"; \
+	echo "shard/merge output is byte-identical to the single-process run (incl. streaming merge with a retried straggler)"
 
 # Short fuzz passes over the property-based targets (grid-spec and
 # shard-spec parsing, τ-decomposition, Lambert W). Override FUZZTIME for

@@ -7,6 +7,7 @@
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -merge BENCH_sim.json > new.json
 //	go test -run NONE -bench . -benchmem . | benchjson -compare BENCH_sim.json
+//	benchjson -append BENCH_history.jsonl < BENCH_sim.json
 //
 // -merge FILE carries forward any top-level keys of an existing document
 // that this run does not produce — the hand-recorded baseline_pre_pr
@@ -14,6 +15,13 @@
 // baselines. A missing FILE is ignored. (Write to a temporary file and
 // rename, as `make bench` does: the shell truncates a direct `> FILE`
 // redirect before -merge can read it.)
+//
+// -append FILE reads one JSON document (a BENCH_sim.json, not bench output)
+// on stdin and appends it compacted to one line of the JSON-lines trajectory
+// history at FILE (`make bench` keeps BENCH_history.jsonl this way). The
+// committed history gives windowed gates — e.g. a median of ns/op over the
+// last N runs, which single-run comparisons on noisy shared hardware cannot
+// support — their data.
 //
 // -compare FILE switches to regression-gate mode (`make benchcheck`):
 // instead of emitting JSON, the run on stdin is compared against the
@@ -44,6 +52,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
 	"math"
 	"os"
@@ -55,8 +64,17 @@ import (
 func main() {
 	mergePath := flag.String("merge", "", "carry forward unknown top-level keys from this existing JSON document")
 	comparePath := flag.String("compare", "", "compare the run on stdin against this baseline document and fail on regressions")
+	appendPath := flag.String("append", "", "append the JSON document on stdin as one line of this JSON-lines history file")
 	threshold := flag.Float64("threshold", 0.25, "relative regression that fails -compare (0.25 = 25%)")
 	flag.Parse()
+
+	if *appendPath != "" {
+		if err := appendHistory(*appendPath, os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	meta := map[string]string{}
 	benches := map[string]map[string]float64{}
@@ -209,6 +227,31 @@ func compare(path string, current map[string]map[string]float64, threshold float
 	}
 	fmt.Printf("benchjson: no regressions beyond %.0f%% vs %s\n", 100*threshold, path)
 	return 0
+}
+
+// appendHistory validates the JSON document on r and appends it, compacted
+// to a single line, to the JSON-lines history file at path — the
+// benchmark-trajectory log windowed regression gates read. The document is
+// parsed (not just copied) so a truncated or non-JSON stdin can never
+// corrupt the committed history.
+func appendHistory(path string, r io.Reader) error {
+	var doc map[string]any
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("append: stdin is not a JSON document: %w", err)
+	}
+	line, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("append %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 // mergeUnknownKeys copies top-level keys this run did not produce (recorded

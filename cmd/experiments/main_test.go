@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestShardCachePath(t *testing.T) {
+	for in, want := range map[string]string{
+		"shard-1-of-3.jsonl":        "shard-1-of-3.cache.jsonl",
+		"/tmp/x/shard-0-of-2.jsonl": "/tmp/x/shard-0-of-2.cache.jsonl",
+		"records":                   "records.cache.jsonl",
+	} {
+		if got := shardCachePath(in); got != want {
+			t.Errorf("shardCachePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestAdoptShardMeta pins the flag-reconciliation rules of a merge run: an
+// omitted -seed/-samples adopts the shard files' recorded value, while an
+// explicitly passed one — including an explicit zero, which the flag value
+// alone cannot distinguish from "omitted" — must match or the merge is
+// rejected.
+func TestAdoptShardMeta(t *testing.T) {
+	meta := experiments.ShardMeta{
+		Format: experiments.ShardFormat, Shard: "0/2",
+		Seed: 7, Samples: 4, Scope: "suite",
+	}
+	zeroMeta := experiments.ShardMeta{
+		Format: experiments.ShardFormat, Shard: "0/2", Scope: "suite",
+	}
+	cases := []struct {
+		name                string
+		meta                experiments.ShardMeta
+		cfg                 experiments.Config
+		seedSet, samplesSet bool
+		wantErr             string
+		wantSeed            int64
+		wantSamples         int
+	}{
+		{name: "adopt both when unset", meta: meta, wantSeed: 7, wantSamples: 4},
+		{name: "explicit match passes", meta: meta,
+			cfg: experiments.Config{Seed: 7, Samples: 4}, seedSet: true, samplesSet: true,
+			wantSeed: 7, wantSamples: 4},
+		{name: "explicit seed conflict", meta: meta,
+			cfg: experiments.Config{Seed: 8}, seedSet: true, wantErr: "-seed 8 conflicts"},
+		{name: "explicit zero seed conflicts with nonzero files", meta: meta,
+			seedSet: true, wantErr: "-seed 0 conflicts"},
+		{name: "explicit zero samples conflicts with nonzero files", meta: meta,
+			samplesSet: true, wantErr: "-samples 0 conflicts"},
+		{name: "explicit zero seed matches zero files", meta: zeroMeta, seedSet: true},
+		{name: "unset zero adopts silently", meta: meta,
+			cfg: experiments.Config{}, wantSeed: 7, wantSamples: 4},
+		{name: "scope mismatch", meta: meta, wantErr: "scope"},
+	}
+	for _, tc := range cases {
+		scope := "suite"
+		if tc.wantErr == "scope" {
+			scope = "grid:search:v=1"
+		}
+		err := adoptShardMeta(&tc.cfg, tc.meta, scope, tc.seedSet, tc.samplesSet)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), strings.TrimSuffix(tc.wantErr, "")) {
+				t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+			continue
+		}
+		if tc.cfg.Seed != tc.wantSeed || tc.cfg.Samples != tc.wantSamples {
+			t.Errorf("%s: adopted (seed, samples) = (%d, %d), want (%d, %d)",
+				tc.name, tc.cfg.Seed, tc.cfg.Samples, tc.wantSeed, tc.wantSamples)
+		}
+	}
+}
+
+// TestProgressMonitorPlainOutput: when the sink is not a terminal the
+// progress monitor must emit plain line-per-update output — no carriage
+// returns, no ANSI erase sequences — so CI logs and captured stderr stay
+// readable.
+func TestProgressMonitorPlainOutput(t *testing.T) {
+	var buf bytes.Buffer
+	mon, finish := progressMonitor(&buf, false, nil)
+	mon.OnChange(1, 2)
+	mon.OnChange(2, 2)
+	finish()
+	out := buf.String()
+	if strings.ContainsAny(out, "\r\x1b") {
+		t.Errorf("non-terminal output contains control sequences: %q", out)
+	}
+	if n := strings.Count(out, "jobs 2/2"); n != 1 {
+		t.Errorf("final progress line appears %d times, want exactly once: %q", n, out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Errorf("blank line in plain progress output: %q", out)
+		}
+	}
+}
+
+// TestProgressMonitorTTYOutput: on a terminal the line redraws in place via
+// \r + erase-to-EOL.
+func TestProgressMonitorTTYOutput(t *testing.T) {
+	var buf bytes.Buffer
+	mon, finish := progressMonitor(&buf, true, nil)
+	mon.OnChange(2, 2)
+	finish()
+	if out := buf.String(); !strings.Contains(out, "\r\x1b[K") {
+		t.Errorf("terminal output lacks redraw sequence: %q", out)
+	}
+}
+
+// TestWatchMergeDir is the streaming-merge partial-directory scenario: the
+// watcher ingests the files already present, keeps polling while a straggler
+// is missing, picks it up the moment it lands, and returns the instant
+// coverage is complete — ignoring cache siblings throughout.
+func TestWatchMergeDir(t *testing.T) {
+	dir := t.TempDir()
+	store := fakeShardFiles(t, dir, 3)
+
+	var ingested []string
+	ms := experiments.NewMergeSet()
+	ingest := func(path string) error {
+		ingested = append(ingested, filepath.Base(path))
+		_, err := ms.Add(path)
+		return err
+	}
+
+	// Shards 0 and 2 are already there (plus a cache sibling that must be
+	// skipped); shard 1 lands while the watcher is polling.
+	if err := os.Remove(filepath.Join(dir, "shard-1-of-3.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	straggler := make(chan error, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		straggler <- store[1].Save(filepath.Join(dir, "shard-1-of-3.jsonl"), metaFor(1, 3))
+	}()
+
+	done := make(chan error, 1)
+	go func() { done <- watchMergeDir(dir, 5*time.Millisecond, 5*time.Second, nil, ms, ingest) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("watchMergeDir did not return after coverage completed")
+	}
+	if err := <-straggler; err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Complete() {
+		t.Error("watcher returned before coverage completed")
+	}
+	if len(ingested) != 3 {
+		t.Errorf("ingested %v, want the 3 record files exactly once each", ingested)
+	}
+	for _, name := range ingested {
+		if strings.HasSuffix(name, ".cache.jsonl") {
+			t.Errorf("watcher ingested a cache sibling: %v", ingested)
+		}
+	}
+}
+
+// TestWatchMergeDirTimeout: with a deadline and a permanently missing
+// stride, the watcher returns so the merge can proceed partially — and
+// errors out when nothing at all appeared.
+func TestWatchMergeDirTimeout(t *testing.T) {
+	dir := t.TempDir()
+	fakeShardFiles(t, dir, 3)
+	if err := os.Remove(filepath.Join(dir, "shard-1-of-3.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+
+	ms := experiments.NewMergeSet()
+	ingest := func(path string) error { _, err := ms.Add(path); return err }
+	if err := watchMergeDir(dir, 5*time.Millisecond, 50*time.Millisecond, nil, ms, ingest); err != nil {
+		t.Fatalf("partial coverage at the deadline should proceed, got %v", err)
+	}
+	if ms.Complete() || ms.Len() != 2 {
+		t.Errorf("after timeout Len = %d Complete = %v, want 2 partial files", ms.Len(), ms.Complete())
+	}
+
+	empty := experiments.NewMergeSet()
+	err := watchMergeDir(t.TempDir(), 5*time.Millisecond, 50*time.Millisecond, nil, empty, ingest)
+	if err == nil {
+		t.Error("empty directory at the deadline should fail")
+	}
+
+	// A nonexistent directory is an immediate error, not an eternal poll.
+	err = watchMergeDir(filepath.Join(t.TempDir(), "typo"), 5*time.Millisecond, 0, nil, empty, ingest)
+	if err == nil {
+		t.Error("nonexistent directory accepted")
+	}
+}
+
+// TestWatchMergeDirSkipsAlreadyIngested: explicit -merge files living inside
+// the watched directory are not ingested a second time by the watcher.
+func TestWatchMergeDirSkipsAlreadyIngested(t *testing.T) {
+	dir := t.TempDir()
+	fakeShardFiles(t, dir, 3)
+	pre := filepath.Join(dir, "shard-0-of-3.jsonl")
+
+	ms := experiments.NewMergeSet()
+	if _, err := ms.Add(pre); err != nil { // the -merge loop's ingestion
+		t.Fatal(err)
+	}
+	var ingested []string
+	ingest := func(path string) error {
+		ingested = append(ingested, filepath.Base(path))
+		_, err := ms.Add(path)
+		return err
+	}
+	if err := watchMergeDir(dir, 5*time.Millisecond, 5*time.Second, []string{pre}, ms, ingest); err != nil {
+		t.Fatal(err)
+	}
+	if len(ingested) != 2 {
+		t.Errorf("watcher ingested %v, want only the two files -merge did not cover", ingested)
+	}
+	if ms.Len() != 3 || !ms.Complete() {
+		t.Errorf("Len = %d Complete = %v, want 3 files exactly once each", ms.Len(), ms.Complete())
+	}
+}
+
+// metaFor builds the ShardMeta of stride i of k for the fake suite scope.
+func metaFor(i, k int) experiments.ShardMeta {
+	cfg := experiments.Config{}
+	cfg.Shard.Index, cfg.Shard.Count = i, k
+	return cfg.Meta("suite")
+}
+
+// fakeShardFiles writes k tiny shard record files (with one cache-sibling
+// decoy) into dir and returns the per-shard stores.
+func fakeShardFiles(t *testing.T, dir string, k int) []*experiments.ShardStore {
+	t.Helper()
+	stores := make([]*experiments.ShardStore, k)
+	for i := 0; i < k; i++ {
+		stores[i] = experiments.NewShardStore()
+		stores[i].Record("E0#0", i, []byte(`["cell"]`))
+		name := filepath.Join(dir, experimentsShardName(i, k))
+		if err := stores[i].Save(name, metaFor(i, k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decoy := filepath.Join(dir, "shard-0-of-3.cache.jsonl")
+	if err := os.WriteFile(decoy, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return stores
+}
+
+func experimentsShardName(i, k int) string {
+	return "shard-" + string(rune('0'+i)) + "-of-" + string(rune('0'+k)) + ".jsonl"
+}

@@ -1,17 +1,26 @@
 // Command shardall demonstrates distributed shard/merge execution locally:
 // it launches K experiments subprocesses — one per shard, each executing
 // only its own stride of every sweep's job indices and recording the
-// results to a shard file — waits for them, then runs one merge subprocess
-// that recombines the shard files and renders the final tables to stdout.
-// The merged output is byte-identical to a plain single-process
-// `experiments` run with the same flags (per-job seeding never depends on
-// which process ran a job); `diff <(experiments ...) <(shardall ...)` is
-// empty. The same mechanics distribute across machines: run the -shard
-// command on each worker, copy the record files, and -merge them anywhere.
+// results to a shard file — then recombines the shard files with one merge
+// subprocess that renders the final tables to stdout. The merged output is
+// byte-identical to a plain single-process `experiments` run with the same
+// flags (per-job seeding never depends on which process ran a job);
+// `diff <(experiments ...) <(shardall ...)` is empty. The same mechanics
+// distribute across machines: run the -shard command on each worker, copy
+// the record files, and -merge them anywhere.
+//
+// Stragglers and failures do not stall the run: a shard subprocess that
+// exits non-zero or exceeds -timeout is killed and relaunched with the same
+// I/K assignment — per-job results depend only on (seed, index), so a retry
+// produces byte-identical records — up to -retries extra attempts. With
+// -stream, the merge subprocess starts alongside the shards and ingests
+// record files as they land (experiments -merge-dir), rendering as soon as
+// every stride is covered instead of after the slowest process exits.
 //
 // Usage:
 //
 //	shardall [-k K] [-bin CMD] [-dir D] [-keep]
+//	         [-retries N] [-timeout T] [-stream]
 //	         [-run ID] [-markdown] [-seed S] [-samples N] [-workers W]
 //	         [-grid spec]... [-gridalgo A] [-cache] [-cachesize N]
 //
@@ -20,16 +29,32 @@
 //	            "go run ./cmd/experiments" — run shardall from the
 //	            repository root, or point -bin at a built binary)
 //	-dir D      directory for the shard record files (default: a
-//	            temporary directory, removed afterwards)
+//	            temporary directory, removed afterwards). Stale
+//	            shard-*-of-*.jsonl files from a previous run in a
+//	            reused directory are removed first
+//	            — they would poison a streaming merge's workload
+//	            fingerprint
 //	-keep       keep the shard record files for inspection
+//	-retries N  extra attempts for a shard whose subprocess fails or
+//	            times out (default 1); the relaunch recomputes the same
+//	            byte-identical records
+//	-timeout T  per-attempt deadline for one shard subprocess; on expiry
+//	            the subprocess is killed and the shard retried
+//	            (default 0 = no deadline)
+//	-stream     start the merge subprocess concurrently and stream the
+//	            shard files into it as they land (-merge-dir) instead of
+//	            merging after every shard has exited
 //
 // The remaining flags are forwarded verbatim to every subprocess; see
-// cmd/experiments for their meaning. Per-shard wall times and a summary
-// are reported on stderr.
+// cmd/experiments for their meaning. With -cache, each shard publishes its
+// result cache next to its record file (shard-I-of-K.cache.jsonl) and the
+// merge warms from their union. Per-shard wall times and a summary are
+// reported on stderr.
 package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +62,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/analysis"
@@ -62,6 +88,9 @@ func run() int {
 		bin       = flag.String("bin", "go run ./cmd/experiments", "command to run one shard (split on spaces)")
 		dir       = flag.String("dir", "", "directory for shard record files (default: a temp dir)")
 		keep      = flag.Bool("keep", false, "keep the shard record files")
+		retries   = flag.Int("retries", 1, "extra attempts for a failed or timed-out shard subprocess")
+		timeout   = flag.Duration("timeout", 0, "per-attempt deadline for one shard subprocess (0 = none)")
+		stream    = flag.Bool("stream", false, "merge concurrently, ingesting shard files as they land")
 		id        = flag.String("run", "", "forwarded: run a single experiment by id")
 		markdown  = flag.Bool("markdown", false, "forwarded: emit markdown")
 		seed      = flag.Int64("seed", 0, "forwarded: base seed")
@@ -81,6 +110,9 @@ func run() int {
 	if *k < 1 {
 		return fail(fmt.Errorf("-k %d: want at least 1 shard", *k))
 	}
+	if *retries < 0 {
+		return fail(fmt.Errorf("-retries %d: want at least 0", *retries))
+	}
 	binParts := strings.Fields(*bin)
 	if len(binParts) == 0 {
 		return fail(fmt.Errorf("-bin is empty"))
@@ -96,6 +128,8 @@ func run() int {
 		}
 		*dir = tmp
 	} else if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fail(err)
+	} else if err := removeStaleShardFiles(*dir); err != nil {
 		return fail(err)
 	}
 
@@ -126,10 +160,35 @@ func run() int {
 		}
 	}
 
+	// With -stream the merge subprocess starts first and watches the shard
+	// directory, so tables render the moment the last stride's record file
+	// lands — not after the slowest subprocess has also been reaped.
+	mergeCtx, cancelMerge := context.WithCancel(context.Background())
+	defer cancelMerge()
+	var mergeDone chan error
+	mergeStart := time.Now()
+	if *stream {
+		args := append([]string{}, binParts[1:]...)
+		args = append(args, "-merge-dir", *dir, "-merge-poll", "100ms")
+		args = append(args, shared...)
+		merge := exec.CommandContext(mergeCtx, binParts[0], args...)
+		killProcessGroup(merge)
+		merge.Stdout = os.Stdout
+		merge.Stderr = os.Stderr
+		if err := merge.Start(); err != nil {
+			return fail(fmt.Errorf("merge: %w", err))
+		}
+		mergeDone = make(chan error, 1)
+		go func() { mergeDone <- merge.Wait() }()
+	}
+
 	// Phase 1: the K shard subprocesses, concurrently — the local stand-in
-	// for K machines.
+	// for K machines. Each shard retries independently: a relaunch with the
+	// same I/K recomputes byte-identical records, so a straggler or crash
+	// costs only its own wall time, never correctness.
 	files := make([]string, *k)
 	seconds := make([]float64, *k)
+	attempts := make([]int, *k)
 	errs := make([]error, *k)
 	stderrs := make([]bytes.Buffer, *k)
 	var wg sync.WaitGroup
@@ -141,12 +200,14 @@ func run() int {
 			args := append([]string{}, binParts[1:]...)
 			args = append(args, "-shard", fmt.Sprintf("%d/%d", i, *k), "-shardfile", files[i])
 			args = append(args, shared...)
-			cmd := exec.Command(binParts[0], args...)
-			cmd.Stdout = nil // shards render nothing
-			cmd.Stderr = &stderrs[i]
-			start := time.Now()
-			errs[i] = cmd.Run()
-			seconds[i] = time.Since(start).Seconds()
+			attempts[i], seconds[i], errs[i] = runShardWithRetry(i, *k, *retries, *timeout, func(ctx context.Context) error {
+				cmd := exec.CommandContext(ctx, binParts[0], args...)
+				killProcessGroup(cmd)
+				cmd.Stdout = nil // shards render nothing
+				stderrs[i].Reset()
+				cmd.Stderr = &stderrs[i]
+				return cmd.Run()
+			})
 		}(i)
 	}
 	wg.Wait()
@@ -155,35 +216,116 @@ func run() int {
 		if err != nil {
 			failed = true
 			fmt.Fprintf(os.Stderr, "shardall: shard %d/%d failed: %v\n%s", i, *k, err, stderrs[i].String())
+		} else if attempts[i] > 1 {
+			fmt.Fprintf(os.Stderr, "shardall: shard %d/%d done in %.2fs (attempt %d)\n", i, *k, seconds[i], attempts[i])
 		} else {
 			fmt.Fprintf(os.Stderr, "shardall: shard %d/%d done in %.2fs\n", i, *k, seconds[i])
 		}
 	}
 	if failed {
+		// A permanently dead shard means coverage can never complete: kill
+		// the streaming merge rather than leave it polling forever.
+		if *stream {
+			cancelMerge()
+			<-mergeDone
+		}
 		return 1
 	}
 	s := analysis.Summarize(seconds)
 	fmt.Fprintf(os.Stderr, "shardall: %d shards, wall s min/mean/p90/max = %.2f/%.2f/%.2f/%.2f\n",
 		*k, s.Min, s.Mean, s.P90, s.Max)
 
-	// Phase 2: one merge subprocess recombines the records and renders the
-	// tables — exactly the command a user would run on the collector
-	// machine.
-	args := append([]string{}, binParts[1:]...)
-	for _, f := range files {
-		args = append(args, "-merge", f)
+	// Phase 2: the merge recombines the records and renders the tables —
+	// exactly the command a user would run on the collector machine. In
+	// stream mode it has been running all along; otherwise launch it now.
+	if *stream {
+		if err := <-mergeDone; err != nil {
+			return fail(fmt.Errorf("merge: %w", err))
+		}
+	} else {
+		args := append([]string{}, binParts[1:]...)
+		for _, f := range files {
+			args = append(args, "-merge", f)
+		}
+		args = append(args, shared...)
+		merge := exec.Command(binParts[0], args...)
+		merge.Stdout = os.Stdout
+		merge.Stderr = os.Stderr
+		mergeStart = time.Now()
+		if err := merge.Run(); err != nil {
+			return fail(fmt.Errorf("merge: %w", err))
+		}
 	}
-	args = append(args, shared...)
-	merge := exec.Command(binParts[0], args...)
-	merge.Stdout = os.Stdout
-	merge.Stderr = os.Stderr
-	start := time.Now()
-	if err := merge.Run(); err != nil {
-		return fail(fmt.Errorf("merge: %w", err))
-	}
-	fmt.Fprintf(os.Stderr, "shardall: merge done in %.2fs\n", time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "shardall: merge done in %.2fs\n", time.Since(mergeStart).Seconds())
 	if *keep {
 		fmt.Fprintf(os.Stderr, "shardall: shard records kept in %s\n", *dir)
 	}
 	return 0
+}
+
+// killProcessGroup makes cancelling cmd's context kill the subprocess's
+// whole process group, not just the direct child: the default -bin is
+// "go run ./cmd/experiments", whose compiled grandchild would otherwise
+// survive a -timeout or stream-merge cancellation and keep running as an
+// orphan. WaitDelay additionally keeps Wait from blocking on any straggler
+// still holding the stdio pipes.
+func killProcessGroup(cmd *exec.Cmd) {
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.Cancel = func() error {
+		return syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL)
+	}
+	cmd.WaitDelay = time.Second
+}
+
+// removeStaleShardFiles clears the record and cache files a previous run
+// left in a reused -dir (a -keep directory, or the same -dir with a
+// different -k). A streaming merge fixes its workload fingerprint on the
+// first record file it sees, so a stale file from an earlier run would
+// poison the watcher before this run's shards overwrite it — and under a
+// different K the names never collide, so the stale file would survive the
+// whole run.
+func removeStaleShardFiles(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*-of-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "shardall: removed stale %s\n", p)
+	}
+	return nil
+}
+
+// runShardWithRetry drives the attempt loop of one shard: launch runs one
+// subprocess attempt under ctx (which carries the per-attempt deadline when
+// timeout > 0). A failed or timed-out attempt is retried up to retries
+// extra times — the relaunch recomputes the same byte-identical records, so
+// retrying is always safe. It returns the number of attempts made, the wall
+// time of the successful attempt, and the final error (nil on success).
+func runShardWithRetry(i, k, retries int, timeout time.Duration, launch func(ctx context.Context) error) (attempts int, secs float64, err error) {
+	for attempt := 1; ; attempt++ {
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+		}
+		start := time.Now()
+		err := launch(ctx)
+		elapsed := time.Since(start).Seconds()
+		timedOut := ctx.Err() == context.DeadlineExceeded
+		cancel()
+		if err == nil {
+			return attempt, elapsed, nil
+		}
+		reason := err.Error()
+		if timedOut {
+			reason = fmt.Sprintf("timed out after %v", timeout)
+		}
+		if attempt > retries {
+			return attempt, elapsed, fmt.Errorf("%s (after %d attempt(s))", reason, attempt)
+		}
+		fmt.Fprintf(os.Stderr, "shardall: shard %d/%d attempt %d failed (%s); retrying\n", i, k, attempt, reason)
+	}
 }

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunShardWithRetry covers the attempt loop in isolation: first-attempt
+// success, fail-then-succeed, exhausted retries, and the timeout path where
+// the per-attempt context kills a hung launch.
+func TestRunShardWithRetry(t *testing.T) {
+	t.Run("first attempt succeeds", func(t *testing.T) {
+		attempts, _, err := runShardWithRetry(0, 3, 2, 0, func(context.Context) error { return nil })
+		if attempts != 1 || err != nil {
+			t.Errorf("attempts=%d err=%v, want 1, nil", attempts, err)
+		}
+	})
+	t.Run("fail then succeed", func(t *testing.T) {
+		calls := 0
+		attempts, _, err := runShardWithRetry(1, 3, 1, 0, func(context.Context) error {
+			calls++
+			if calls == 1 {
+				return errors.New("crash")
+			}
+			return nil
+		})
+		if attempts != 2 || err != nil {
+			t.Errorf("attempts=%d err=%v, want 2, nil", attempts, err)
+		}
+	})
+	t.Run("retries exhausted", func(t *testing.T) {
+		attempts, _, err := runShardWithRetry(1, 3, 2, 0, func(context.Context) error {
+			return errors.New("crash")
+		})
+		if attempts != 3 || err == nil {
+			t.Errorf("attempts=%d err=%v, want 3 attempts and a final error", attempts, err)
+		}
+		if !strings.Contains(err.Error(), "after 3 attempt") {
+			t.Errorf("final error does not report the attempt count: %v", err)
+		}
+	})
+	t.Run("zero retries fail immediately", func(t *testing.T) {
+		attempts, _, err := runShardWithRetry(1, 3, 0, 0, func(context.Context) error {
+			return errors.New("crash")
+		})
+		if attempts != 1 || err == nil {
+			t.Errorf("attempts=%d err=%v, want a single failed attempt", attempts, err)
+		}
+	})
+	t.Run("timeout kills and retries", func(t *testing.T) {
+		calls := 0
+		attempts, _, err := runShardWithRetry(1, 3, 1, 30*time.Millisecond, func(ctx context.Context) error {
+			calls++
+			if calls == 1 {
+				<-ctx.Done() // a hung subprocess dies with the context
+				return ctx.Err()
+			}
+			return nil
+		})
+		if attempts != 2 || err != nil {
+			t.Errorf("attempts=%d err=%v, want timeout then clean retry", attempts, err)
+		}
+	})
+	t.Run("timeout reported when exhausted", func(t *testing.T) {
+		_, _, err := runShardWithRetry(1, 3, 0, 10*time.Millisecond, func(ctx context.Context) error {
+			<-ctx.Done()
+			return ctx.Err()
+		})
+		if err == nil || !strings.Contains(err.Error(), "timed out after") {
+			t.Errorf("err = %v, want a timeout report", err)
+		}
+	})
+}
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// binaries builds the experiments and shardall binaries once per test run
+// and returns their paths plus the flaky wrapper script's.
+func binaries(t *testing.T) (experiments, shardall, flaky string) {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "shardall-test-*")
+		if buildErr != nil {
+			return
+		}
+		for _, pkg := range []string{"experiments", "shardall"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, pkg), "repro/cmd/"+pkg)
+			cmd.Dir = "../.."
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = fmt.Errorf("build %s: %v\n%s", pkg, err, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	wrapper, err := filepath.Abs("../../scripts/flaky-shard.sh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(buildDir, "experiments"), filepath.Join(buildDir, "shardall"), wrapper
+}
+
+// TestShardallStragglerEndToEnd is the acceptance scenario: one shard
+// subprocess dies (or hangs until the per-shard deadline kills it) on its
+// first attempt, the retry re-runs the same stride, and the merged tables
+// are byte-identical to the single-process run.
+func TestShardallStragglerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess end-to-end test")
+	}
+	expBin, shardallBin, flaky := binaries(t)
+
+	var want bytes.Buffer
+	ref := exec.Command(expBin, "-run", "E2", "-seed", "7")
+	ref.Stdout = &want
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mode string
+		args []string
+	}{
+		{name: "killed shard, batch merge", mode: "exit",
+			args: []string{"-k", "3", "-retries", "1"}},
+		{name: "hung shard killed by timeout, streaming merge", mode: "hang",
+			args: []string{"-k", "3", "-retries", "1", "-timeout", "2s", "-stream"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			args := append(append([]string{}, tc.args...),
+				"-bin", flaky, "-dir", filepath.Join(dir, "shards"),
+				"-run", "E2", "-seed", "7")
+			cmd := exec.Command(shardallBin, args...)
+			cmd.Env = append(os.Environ(),
+				"FLAKY_BIN="+expBin,
+				"FLAKY_SHARD=1/3",
+				"FLAKY_MODE="+tc.mode,
+				"FLAKY_MARK="+filepath.Join(dir, "first-attempt-done"),
+			)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout, cmd.Stderr = &stdout, &stderr
+			if err := cmd.Run(); err != nil {
+				t.Fatalf("shardall: %v\n%s", err, stderr.String())
+			}
+			if stdout.String() != want.String() {
+				t.Errorf("merged output differs from the single-process run\nstderr:\n%s", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "retrying") {
+				t.Errorf("no retry happened — the straggler scenario did not trigger:\n%s", stderr.String())
+			}
+			if tc.mode == "hang" && !strings.Contains(stderr.String(), "timed out after") {
+				t.Errorf("hung shard was not killed by the deadline:\n%s", stderr.String())
+			}
+		})
+	}
+}
+
+// TestShardallReusedDirStream: a -dir kept from a previous run with a
+// different K holds stale record files whose names never collide with this
+// run's; the stale-file cleanup must stop them from poisoning the streaming
+// merge's workload fingerprint.
+func TestShardallReusedDirStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess end-to-end test")
+	}
+	expBin, shardallBin, _ := binaries(t)
+
+	var want bytes.Buffer
+	ref := exec.Command(expBin, "-run", "E2", "-seed", "2")
+	ref.Stdout = &want
+	if err := ref.Run(); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "shards")
+	first := exec.Command(shardallBin, "-k", "4", "-keep", "-dir", dir,
+		"-bin", expBin, "-run", "E2", "-seed", "1")
+	if out, err := first.CombinedOutput(); err != nil {
+		t.Fatalf("first run: %v\n%s", err, out)
+	}
+
+	second := exec.Command(shardallBin, "-k", "3", "-stream", "-dir", dir,
+		"-bin", expBin, "-run", "E2", "-seed", "2")
+	var stdout, stderr bytes.Buffer
+	second.Stdout, second.Stderr = &stdout, &stderr
+	if err := second.Run(); err != nil {
+		t.Fatalf("second run in reused dir: %v\n%s", err, stderr.String())
+	}
+	if stdout.String() != want.String() {
+		t.Errorf("reused-dir streamed output differs from the single-process run\nstderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "removed stale") {
+		t.Errorf("stale record files were not cleaned:\n%s", stderr.String())
+	}
+}
+
+// TestShardallRetriesExhausted: a shard that fails every attempt takes the
+// whole run down with a non-zero exit — and in stream mode also tears down
+// the concurrently running merge instead of leaving it polling forever.
+func TestShardallRetriesExhausted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess end-to-end test")
+	}
+	_, shardallBin, _ := binaries(t)
+	for _, streamArgs := range [][]string{nil, {"-stream"}} {
+		name := "batch"
+		if streamArgs != nil {
+			name = "stream"
+		}
+		t.Run(name, func(t *testing.T) {
+			args := append(append([]string{}, streamArgs...),
+				"-k", "2", "-retries", "1", "-bin", "false", // every attempt fails
+				"-run", "E2", "-seed", "7")
+			cmd := exec.Command(shardallBin, args...)
+			var stderr bytes.Buffer
+			cmd.Stderr = &stderr
+			start := time.Now()
+			err := cmd.Run()
+			if err == nil {
+				t.Fatal("shardall succeeded with permanently failing shards")
+			}
+			if elapsed := time.Since(start); elapsed > 30*time.Second {
+				t.Errorf("teardown took %v — the streaming merge was left running", elapsed)
+			}
+			if !strings.Contains(stderr.String(), "failed") {
+				t.Errorf("failure not reported:\n%s", stderr.String())
+			}
+		})
+	}
+}

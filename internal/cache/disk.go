@@ -23,21 +23,51 @@ type diskEntry struct {
 // Open returns a cache backed by the JSON-lines file at path, loading any
 // entries already there (a missing file is an empty cache, not an error).
 // Call Save to persist the current contents back.
-func Open(path string, capacity int) (*Cache, error) {
+//
+// Any warm paths are additional cache files folded in first, union-style —
+// the shard caches a distributed run emitted, say — so the cache starts from
+// the fleet's combined work. They are read once and never written back to;
+// on a key held by several layers, later warm files win over earlier ones
+// and path's own entries win over every warm file.
+func Open(path string, capacity int, warm ...string) (*Cache, error) {
 	c := New(capacity)
 	c.path = path
-	_, err := ReadJSONLines(path, func(data []byte) error {
-		var e diskEntry
-		if json.Unmarshal(data, &e) != nil {
-			return nil // damaged line: skip, do not fail the run
-		}
-		c.Put(e.K, e.R)
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("cache: %w", err)
+	if _, err := c.Merge(warm...); err != nil {
+		return nil, err
+	}
+	if _, err := c.Merge(path); err != nil {
+		return nil, err
 	}
 	return c, nil
+}
+
+// Merge folds the entries of the JSON-lines cache files at paths into c,
+// in argument order — the union of the layers, with the last writer winning
+// when several files (or several lines of one file) carry the same key.
+// Missing files are skipped (a shard whose run never saved a cache is not an
+// error) and damaged lines are skipped as in Open: the cache is an
+// accelerator, never a source of truth. It returns the number of entries
+// folded in. A nil receiver is a no-op.
+func (c *Cache) Merge(paths ...string) (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	total := 0
+	for _, path := range paths {
+		_, err := ReadJSONLines(path, func(data []byte) error {
+			var e diskEntry
+			if json.Unmarshal(data, &e) != nil {
+				return nil // damaged line: skip, do not fail the run
+			}
+			c.Put(e.K, e.R)
+			total++
+			return nil
+		})
+		if err != nil {
+			return total, fmt.Errorf("cache: %w", err)
+		}
+	}
+	return total, nil
 }
 
 // Path returns the disk layer's file path ("" for a memory-only cache).
@@ -56,6 +86,19 @@ func (c *Cache) Save() error {
 	if c == nil || c.path == "" {
 		return nil
 	}
+	return c.SaveAs(c.path)
+}
+
+// SaveAs writes the cache contents to the JSON-lines file at path, in the
+// same format and with the same atomicity as Save, without changing the
+// cache's own disk layer. Sharded runs use it to publish their cache
+// alongside the shard record file (shard-I-of-K.cache.jsonl) so a merge —
+// or any later overlapping sweep — can warm from the union of the fleet's
+// caches via Merge or Open's warm paths. A nil receiver is a no-op.
+func (c *Cache) SaveAs(path string) error {
+	if c == nil {
+		return nil
+	}
 	c.mu.Lock()
 	entries := make([]diskEntry, 0, c.ll.Len())
 	for el := c.ll.Back(); el != nil; el = el.Prev() {
@@ -64,7 +107,7 @@ func (c *Cache) Save() error {
 	}
 	c.mu.Unlock()
 
-	err := WriteJSONLines(c.path, func(enc *json.Encoder) error {
+	err := WriteJSONLines(path, func(enc *json.Encoder) error {
 		for _, e := range entries {
 			if err := enc.Encode(e); err != nil {
 				return err

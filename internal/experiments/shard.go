@@ -194,63 +194,87 @@ func (s *ShardStore) Save(path string, meta ShardMeta) error {
 // LoadShards reads the union of the given shard files into one store for a
 // merge run and returns their metas in argument order. Every file must
 // lead with a ShardMeta line agreeing on format, seed, samples, scope, and
-// shard count K — merging runs of different workloads is an error, not a
-// silent mix. Missing shards (K files not all present) and damaged record
-// lines are not errors: the merge recomputes those jobs locally to
-// identical bytes, and the caller can compare Coverage against K to warn.
-// Duplicate records across files (identical by determinism) overwrite
-// silently.
+// shard count K — merging runs of different workloads (including runs
+// sharded with different K values, e.g. a 0/2 file with a 1/3 file) is an
+// error, not a silent mix. Missing shards (K files not all present) and
+// damaged record lines are not errors: the merge recomputes those jobs
+// locally to identical bytes, and a caller that wants to warn can check
+// stride coverage through MergeSet.Complete/Missing. Duplicate records
+// across files (identical by determinism) overwrite silently.
+//
+// LoadShards is the one-shot form of MergeSet, which additionally supports
+// incremental ingestion for streaming merges.
 func LoadShards(paths ...string) (*ShardStore, []ShardMeta, error) {
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("experiments: no shard files to merge")
 	}
-	s := NewShardStore()
-	metas := make([]ShardMeta, 0, len(paths))
+	m := NewMergeSet()
 	for _, path := range paths {
-		var meta *ShardMeta
-		found, err := cache.ReadJSONLines(path, func(data []byte) error {
-			var l shardLine
-			if json.Unmarshal(data, &l) != nil {
-				return nil // damaged line: the merge recomputes that job
-			}
-			if meta == nil {
-				// The first line must identify the file; anything else is
-				// not a shard file.
-				if l.Meta == nil {
-					return fmt.Errorf("experiments: %s: not a shard file (no meta line)", path)
-				}
-				if l.Meta.Format != ShardFormat {
-					return fmt.Errorf("experiments: %s: format %q, want %q", path, l.Meta.Format, ShardFormat)
-				}
-				if _, err := sweep.ParseShard(l.Meta.Shard); err != nil {
-					return fmt.Errorf("experiments: %s: %w", path, err)
-				}
-				meta = l.Meta
-				return nil
-			}
-			if l.B == "" || l.V == nil {
-				return nil // damaged or foreign line: skip
-			}
-			s.recs[shardKey{l.B, l.I}] = l.V
-			return nil
-		})
-		if err != nil {
+		if _, err := m.Add(path); err != nil {
 			return nil, nil, err
 		}
-		if !found {
-			return nil, nil, fmt.Errorf("experiments: shard file %s does not exist", path)
+	}
+	return m.Store(), m.Metas(), nil
+}
+
+// readShardFile streams the shard file at path into store and returns its
+// meta line. validate, when non-nil, is called with the meta before any
+// record is folded in — returning an error aborts the read with the store
+// untouched, which is what lets a MergeSet reject an incompatible file
+// without polluting its live store. Damaged record lines are skipped (the
+// merge recomputes those jobs locally).
+func readShardFile(store *ShardStore, path string, validate func(ShardMeta) error) (*ShardMeta, error) {
+	var meta *ShardMeta
+	found, err := cache.ReadJSONLines(path, func(data []byte) error {
+		var l shardLine
+		if json.Unmarshal(data, &l) != nil {
+			return nil // damaged line: the merge recomputes that job
 		}
 		if meta == nil {
-			return nil, nil, fmt.Errorf("experiments: %s: empty shard file", path)
-		}
-		if len(metas) > 0 {
-			if err := compatibleMetas(metas[0], *meta); err != nil {
-				return nil, nil, fmt.Errorf("experiments: %s: %w", path, err)
+			// The first line must identify the file; anything else is
+			// not a shard file.
+			if l.Meta == nil {
+				return fmt.Errorf("experiments: %s: not a shard file (no meta line)", path)
 			}
+			if l.Meta.Format != ShardFormat {
+				return fmt.Errorf("experiments: %s: format %q, want %q", path, l.Meta.Format, ShardFormat)
+			}
+			if _, err := sweep.ParseShard(l.Meta.Shard); err != nil {
+				return fmt.Errorf("experiments: %s: %w", path, err)
+			}
+			if validate != nil {
+				if err := validate(*l.Meta); err != nil {
+					return fmt.Errorf("experiments: %s: %w", path, err)
+				}
+			}
+			meta = l.Meta
+			return nil
 		}
-		metas = append(metas, *meta)
+		if l.Meta != nil {
+			// A second meta line means two shard files were pasted together
+			// (e.g. `cat a.jsonl b.jsonl`); folding the second file's records
+			// in under the first file's validated fingerprint would be
+			// exactly the silent workload mix this format exists to prevent.
+			return fmt.Errorf("experiments: %s: multiple meta lines (concatenated shard files?); merge the original files instead", path)
+		}
+		if l.B == "" || l.V == nil {
+			return nil // damaged or foreign line: skip
+		}
+		store.mu.Lock()
+		store.recs[shardKey{l.B, l.I}] = l.V
+		store.mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return s, metas, nil
+	if !found {
+		return nil, fmt.Errorf("experiments: shard file %s does not exist", path)
+	}
+	if meta == nil {
+		return nil, fmt.Errorf("experiments: %s: empty shard file", path)
+	}
+	return meta, nil
 }
 
 // compatibleMetas reports why two shard files cannot merge, if they cannot.
@@ -270,22 +294,4 @@ func compatibleMetas(a, b ShardMeta) error {
 		return fmt.Errorf("shard count %d conflicts with %d", sb.Count, sa.Count)
 	}
 	return nil
-}
-
-// Coverage reports which of the K shards the given metas cover: present[i]
-// is true when shard i/K appears. All metas must already be compatible
-// (they came from LoadShards).
-func Coverage(metas []ShardMeta) (present []bool, k int) {
-	if len(metas) == 0 {
-		return nil, 0
-	}
-	first, _ := sweep.ParseShard(metas[0].Shard)
-	k = first.Count
-	present = make([]bool, k)
-	for _, m := range metas {
-		if s, err := sweep.ParseShard(m.Shard); err == nil && s.Count == k {
-			present[s.Index] = true
-		}
-	}
-	return present, k
 }

@@ -52,29 +52,28 @@ func runShardsAndMerge(t *testing.T, base Config, k int, freshCache bool) (strin
 			t.Fatal(err)
 		}
 	}
-	store, metas, err := LoadShards(files...)
-	if err != nil {
-		t.Fatal(err)
-	}
-	present, gotK := Coverage(metas)
-	if gotK != k {
-		t.Fatalf("coverage K = %d, want %d", gotK, k)
-	}
-	for i, p := range present {
-		if !p {
-			t.Fatalf("shard %d/%d missing from coverage", i, k)
+	ms := NewMergeSet()
+	for _, f := range files {
+		if _, err := ms.Add(f); err != nil {
+			t.Fatal(err)
 		}
+	}
+	if ms.K() != k {
+		t.Fatalf("coverage K = %d, want %d", ms.K(), k)
+	}
+	if !ms.Complete() {
+		t.Fatalf("shards %v missing from coverage", ms.Missing())
 	}
 	mcfg := base
 	if freshCache {
 		mcfg.Cache = cache.New(0)
 	}
-	mcfg.Store = store
+	mcfg.Store = ms.Store()
 	var buf bytes.Buffer
 	if err := runAll(&buf, false, mcfg, shardRunners()); err != nil {
 		t.Fatalf("merge of %d shards: %v", k, err)
 	}
-	return buf.String(), store
+	return buf.String(), ms.Store()
 }
 
 // TestShardMergeByteIdentity is the tentpole acceptance test: the merge of
@@ -190,16 +189,17 @@ func TestShardMergeDamagedAndMissing(t *testing.T) {
 	if err := os.WriteFile(files[1], data[:len(data)-len(data)/3], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	store, metas, err := LoadShards(files[0], files[1])
-	if err != nil {
-		t.Fatal(err)
+	ms := NewMergeSet()
+	for _, f := range []string{files[0], files[1]} {
+		if _, err := ms.Add(f); err != nil {
+			t.Fatal(err)
+		}
 	}
-	present, gotK := Coverage(metas)
-	if gotK != k || present[2] {
-		t.Fatalf("coverage = %v of %d, want shard 2 missing", present, gotK)
+	if missing := ms.Missing(); ms.K() != k || len(missing) != 1 || missing[0] != "2/3" {
+		t.Fatalf("coverage K = %d missing %v, want shard 2/3 missing", ms.K(), ms.Missing())
 	}
 	mcfg := base
-	mcfg.Store = store
+	mcfg.Store = ms.Store()
 	var got bytes.Buffer
 	if err := runAll(&got, false, mcfg, shardRunners()); err != nil {
 		t.Fatal(err)
@@ -207,7 +207,7 @@ func TestShardMergeDamagedAndMissing(t *testing.T) {
 	if got.String() != want.String() {
 		t.Error("merge with damaged + missing shards is not byte-identical")
 	}
-	if store.Recorded() == 0 {
+	if ms.Store().Recorded() == 0 {
 		t.Error("expected local recomputation of the lost records")
 	}
 }

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sweep"
+)
+
+// writeShardFiles runs the suite subset as K sharded runs and saves one
+// record file per shard (plus its cache sibling when caches is true),
+// returning the record paths in shard order.
+func writeShardFiles(t *testing.T, base Config, k int, dir string, caches bool) []string {
+	t.Helper()
+	scope, err := ShardScope(nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := make([]string, k)
+	for idx := 0; idx < k; idx++ {
+		cfg := base
+		if caches {
+			cfg.Cache = cache.New(0)
+		}
+		cfg.Shard = sweep.Shard{Index: idx, Count: k}
+		cfg.Store = NewShardStore()
+		if err := runAll(io.Discard, false, cfg, shardRunners()); err != nil {
+			t.Fatalf("shard %d/%d: %v", idx, k, err)
+		}
+		files[idx] = filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.jsonl", idx, k))
+		if caches {
+			if err := cfg.Cache.SaveAs(files[idx][:len(files[idx])-len(".jsonl")] + ".cache.jsonl"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cfg.Store.Save(files[idx], cfg.Meta(scope)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+// TestMergeSetIncremental: files ingested one at a time drive Complete from
+// false to true exactly when the last stride lands, Missing shrinks in
+// step, and the merge over the completed set renders byte-identically to
+// the single-process run — the streaming-merge contract.
+func TestMergeSetIncremental(t *testing.T) {
+	base := Config{Workers: 2, Seed: 11}
+	var want bytes.Buffer
+	if err := runAll(&want, false, base, shardRunners()); err != nil {
+		t.Fatal(err)
+	}
+	const k = 3
+	files := writeShardFiles(t, base, k, t.TempDir(), false)
+
+	ms := NewMergeSet()
+	if ms.Complete() {
+		t.Error("empty set reports Complete")
+	}
+	if ms.K() != 0 || ms.Len() != 0 {
+		t.Errorf("empty set K=%d Len=%d", ms.K(), ms.Len())
+	}
+	// Ingest out of order: 2, 0, then 1 — a realistic landing order.
+	for step, idx := range []int{2, 0, 1} {
+		meta, err := ms.Add(files[idx])
+		if err != nil {
+			t.Fatalf("add shard %d: %v", idx, err)
+		}
+		if meta.Shard != fmt.Sprintf("%d/%d", idx, k) {
+			t.Errorf("ingested meta shard = %q", meta.Shard)
+		}
+		if ms.K() != k {
+			t.Errorf("after first add K = %d, want %d", ms.K(), k)
+		}
+		wantComplete := step == 2
+		if ms.Complete() != wantComplete {
+			t.Errorf("after %d adds Complete = %v", step+1, !wantComplete)
+		}
+		if missing := ms.Missing(); len(missing) != k-(step+1) {
+			t.Errorf("after %d adds Missing = %v", step+1, missing)
+		}
+	}
+	if got := ms.Missing(); got != nil {
+		t.Errorf("complete set Missing = %v", got)
+	}
+
+	mcfg := base
+	mcfg.Store = ms.Store()
+	var got bytes.Buffer
+	if err := runAll(&got, false, mcfg, shardRunners()); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("streamed merge output differs from the single-process run")
+	}
+	if n := ms.Store().Recorded(); n != 0 {
+		t.Errorf("streamed merge recomputed %d jobs locally", n)
+	}
+}
+
+// TestMergeSetPartial: rendering from a partial set (one stride never
+// landed) still reproduces the single-process bytes — the missing shard's
+// jobs recompute locally — which is what -merge-timeout relies on.
+func TestMergeSetPartial(t *testing.T) {
+	base := Config{Workers: 2, Seed: 11}
+	var want bytes.Buffer
+	if err := runAll(&want, false, base, shardRunners()); err != nil {
+		t.Fatal(err)
+	}
+	files := writeShardFiles(t, base, 3, t.TempDir(), false)
+
+	ms := NewMergeSet()
+	for _, idx := range []int{0, 2} {
+		if _, err := ms.Add(files[idx]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ms.Complete() {
+		t.Error("partial set reports Complete")
+	}
+	if missing := ms.Missing(); !reflect.DeepEqual(missing, []string{"1/3"}) {
+		t.Errorf("Missing = %v, want [1/3]", missing)
+	}
+	mcfg := base
+	mcfg.Store = ms.Store()
+	var got bytes.Buffer
+	if err := runAll(&got, false, mcfg, shardRunners()); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Error("partial merge output differs from the single-process run")
+	}
+	if ms.Store().Recorded() == 0 {
+		t.Error("expected local recomputation of the missing stride")
+	}
+}
+
+// TestMergeSetMixedK: ingesting a file from a run sharded with a different
+// K is rejected with a conflict error — and contributes nothing to the live
+// store, so an in-progress streaming merge survives a stray file.
+func TestMergeSetMixedK(t *testing.T) {
+	base := Config{Workers: 2, Seed: 11}
+	twoWay := writeShardFiles(t, base, 2, t.TempDir(), false)
+	threeWay := writeShardFiles(t, base, 3, t.TempDir(), false)
+
+	ms := NewMergeSet()
+	if _, err := ms.Add(twoWay[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := ms.Store().Len()
+	if _, err := ms.Add(threeWay[1]); err == nil {
+		t.Fatal("a 1/3 file merged into a 0/2 set")
+	}
+	if ms.Store().Len() != before {
+		t.Errorf("rejected file changed the store: %d -> %d records", before, ms.Store().Len())
+	}
+	if ms.Len() != 1 || ms.K() != 2 || ms.Complete() {
+		t.Errorf("rejected file changed the set: Len=%d K=%d Complete=%v", ms.Len(), ms.K(), ms.Complete())
+	}
+
+	// LoadShards (the one-shot wrapper) rejects the same mix.
+	if _, _, err := LoadShards(twoWay[0], threeWay[1]); err == nil {
+		t.Error("LoadShards accepted mixed-K files")
+	}
+
+	// Concatenated shard files (two meta lines in one file) are rejected
+	// outright — the second file's records would otherwise fold in under
+	// the first file's fingerprint.
+	a, err := os.ReadFile(twoWay[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(threeWay[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	concat := filepath.Join(t.TempDir(), "concat.jsonl")
+	if err := os.WriteFile(concat, append(a, b...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMergeSet().Add(concat); err == nil || !strings.Contains(err.Error(), "meta lines") {
+		t.Errorf("concatenated shard file: err = %v, want a multiple-meta-lines rejection", err)
+	}
+}
+
+// TestShardCacheWarming is the shard-aware caching acceptance path: a
+// sharded -cache run publishes per-shard cache files; a cache warmed from
+// their union serves an overlapping sweep with hits instead of fresh
+// simulation.
+func TestShardCacheWarming(t *testing.T) {
+	dir := t.TempDir()
+	specs := []string{"v=0.25,0.5"}
+	base := Config{Workers: 2, Seed: 5}
+	scope, err := ShardScope(specs, "search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	var cacheFiles []string
+	for idx := 0; idx < k; idx++ {
+		cfg := base
+		cfg.Cache = cache.New(0)
+		cfg.Shard = sweep.Shard{Index: idx, Count: k}
+		cfg.Store = NewShardStore()
+		if err := RunGridCfg(io.Discard, false, specs, "search", cfg); err != nil {
+			t.Fatal(err)
+		}
+		record := filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.jsonl", idx, k))
+		cachePath := filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.cache.jsonl", idx, k))
+		if err := cfg.Cache.SaveAs(cachePath); err != nil {
+			t.Fatal(err)
+		}
+		if err := cfg.Store.Save(record, cfg.Meta(scope)); err != nil {
+			t.Fatal(err)
+		}
+		cacheFiles = append(cacheFiles, cachePath)
+	}
+
+	// A later overlapping sweep (a superset grid) warmed from the union of
+	// the shard caches must be served hits for the shared cells.
+	warm := cache.New(0)
+	n, err := warm.Merge(cacheFiles...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("shard cache files were empty")
+	}
+	cfg := base
+	cfg.Cache = warm
+	if err := RunGridCfg(io.Discard, false, []string{"v=0.25,0.5,0.75"}, "search", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Hits == 0 {
+		t.Errorf("warmed cache served no hits on the overlapping sweep: %+v", s)
+	} else if s.Misses != 1 {
+		t.Errorf("overlap should miss only the new cell: %+v", s)
+	}
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# flaky-shard.sh — test wrapper around the experiments binary that makes one
+# shard a straggler, for the shardall retry scenario (`make shardcheck` and
+# cmd/shardall's end-to-end test).
+#
+# The first invocation matching the shard spec in FLAKY_SHARD (default 1/3)
+# misbehaves, then records that it did so in the state file FLAKY_MARK; every
+# later invocation — the retry — passes straight through to FLAKY_BIN.
+# FLAKY_MODE selects the misbehaviour:
+#   exit  (default)  die immediately with a non-zero status
+#   hang             sleep far past any reasonable -timeout so the per-shard
+#                    deadline has to kill the subprocess
+#
+# FLAKY_BIN and FLAKY_MARK are required; everything else has defaults.
+set -u
+
+case "$*" in
+  *"-shard ${FLAKY_SHARD:-1/3} "*|*"-shard ${FLAKY_SHARD:-1/3}")
+    if [ ! -e "${FLAKY_MARK:?set FLAKY_MARK to a writable state-file path}" ]; then
+      : > "$FLAKY_MARK"
+      case "${FLAKY_MODE:-exit}" in
+        hang) exec sleep 3600 ;;
+      esac
+      exit 1
+    fi
+    ;;
+esac
+
+exec "${FLAKY_BIN:?set FLAKY_BIN to the experiments binary}" "$@"
