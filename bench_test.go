@@ -165,9 +165,10 @@ func BenchmarkRunAllCached(b *testing.B) {
 // --- engine micro-benchmarks -------------------------------------------
 
 // BenchmarkRendezvousHot is the allocation gate of the simulator hot path:
-// one full simulated rendezvous (Theorem 2 fast path). The pre-PR baseline
-// recorded in BENCH_sim.json is 157 allocs/op; the motion-scratch reuse in
-// internal/sim must keep allocs/op strictly below it.
+// one full simulated rendezvous (Theorem 2 fast path). The value-typed
+// segment core (segment.Seg + trajectory.Cursor + motion.Mover) runs it in
+// single-digit allocs/op (pre-refactor: 121, pre-PR-2: 157); the in-code
+// ceiling lives in TestRendezvousHotAllocGate.
 func BenchmarkRendezvousHot(b *testing.B) {
 	in := Instance{
 		Attrs: Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: CCW},
@@ -184,8 +185,9 @@ func BenchmarkRendezvousHot(b *testing.B) {
 }
 
 // BenchmarkSearchHot is the companion allocation gate for the search path,
-// which walks the program without an iter.Pull cursor (pre-PR baseline:
-// 103 allocs/op).
+// which drives the program generator with a plain callback and no cursor at
+// all (pre-refactor: 62 allocs/op, pre-PR-2: 103); the in-code ceiling
+// lives in TestSearchHotAllocGate.
 func BenchmarkSearchHot(b *testing.B) {
 	target := Polar(2, 0.9)
 	b.ReportAllocs()
@@ -298,7 +300,8 @@ func BenchmarkTrajectoryGeneration(b *testing.B) {
 }
 
 // BenchmarkWalker measures the forward cursor over a frame-transformed
-// trajectory (what the simulator actually iterates).
+// trajectory — the trajectory.Cursor machinery (window restarts, then the
+// batched streaming escape) that the merged two-stream walk sits on.
 func BenchmarkWalker(b *testing.B) {
 	attrs := Attributes{V: 0.5, Tau: 1.5, Phi: 1.1, Chi: CW}
 	for b.Loop() {

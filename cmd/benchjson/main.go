@@ -7,6 +7,7 @@
 //
 //	go test -run NONE -bench . -benchmem . | benchjson -merge BENCH_sim.json > new.json
 //	go test -run NONE -bench . -benchmem . | benchjson -compare BENCH_sim.json
+//	go test -run NONE -bench . -benchmem . | benchjson -compare-history BENCH_history.jsonl
 //	benchjson -append BENCH_history.jsonl < BENCH_sim.json
 //
 // -merge FILE carries forward any top-level keys of an existing document
@@ -21,7 +22,20 @@
 // history at FILE (`make bench` keeps BENCH_history.jsonl this way). The
 // committed history gives windowed gates — e.g. a median of ns/op over the
 // last N runs, which single-run comparisons on noisy shared hardware cannot
-// support — their data.
+// support — their data. Unless -force is set, the appended document's
+// benchmark name set must equal the last entry's, so a renamed or dropped
+// benchmark cannot silently corrupt the windowed gate's series.
+//
+// -compare-history FILE is the windowed gate itself (`make
+// benchcheck-history`): the run on stdin is compared per benchmark against
+// the median of the last -window (default 5) history entries — ns/op with
+// the -threshold tolerance, allocs/op strictly. ns/op medians only include
+// entries recorded at the same -benchtime as the current run (entries
+// without a stamp count as "1s"): a 100-iteration QUICK run amortises
+// warmup differently from a 1s run, so mixing them would bias the gate;
+// allocs/op is benchtime-insensitive and always gates. With fewer than
+// three entries the gate self-skips with exit status 0; it arms
+// automatically as committed history accumulates.
 //
 // -compare FILE switches to regression-gate mode (`make benchcheck`):
 // instead of emitting JSON, the run on stdin is compared against the
@@ -64,12 +78,16 @@ import (
 func main() {
 	mergePath := flag.String("merge", "", "carry forward unknown top-level keys from this existing JSON document")
 	comparePath := flag.String("compare", "", "compare the run on stdin against this baseline document and fail on regressions")
+	compareHistoryPath := flag.String("compare-history", "", "compare the run on stdin against the windowed history at this JSON-lines file and fail on regressions")
 	appendPath := flag.String("append", "", "append the JSON document on stdin as one line of this JSON-lines history file")
-	threshold := flag.Float64("threshold", 0.25, "relative regression that fails -compare (0.25 = 25%)")
+	force := flag.Bool("force", false, "allow -append to record a benchmark set that differs from the history's last entry")
+	threshold := flag.Float64("threshold", 0.25, "relative ns/op regression that fails -compare / -compare-history (0.25 = 25%)")
+	window := flag.Int("window", 5, "number of trailing history entries -compare-history takes the median over")
+	benchtime := flag.String("benchtime", "1s", "the -benchtime the run on stdin used; stamped into recordings, and -compare-history gates ns/op only against entries recorded at the same benchtime")
 	flag.Parse()
 
 	if *appendPath != "" {
-		if err := appendHistory(*appendPath, os.Stdin); err != nil {
+		if err := appendHistory(*appendPath, os.Stdin, *force); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
@@ -126,8 +144,11 @@ func main() {
 	if *comparePath != "" {
 		os.Exit(compare(*comparePath, benches, *threshold))
 	}
+	if *compareHistoryPath != "" {
+		os.Exit(compareHistory(*compareHistoryPath, benches, *threshold, *window, *benchtime))
+	}
 
-	out := map[string]any{"benchmarks": benches}
+	out := map[string]any{"benchmarks": benches, "benchtime": *benchtime}
 	for _, k := range []string{"goos", "goarch", "cpu", "pkg"} {
 		if meta[k] != "" {
 			out[k] = meta[k]
@@ -233,11 +254,19 @@ func compare(path string, current map[string]map[string]float64, threshold float
 // to a single line, to the JSON-lines history file at path — the
 // benchmark-trajectory log windowed regression gates read. The document is
 // parsed (not just copied) so a truncated or non-JSON stdin can never
-// corrupt the committed history.
-func appendHistory(path string, r io.Reader) error {
+// corrupt the committed history, and — unless force is set — its benchmark
+// name set must equal the last entry's: the windowed-median gate is only
+// meaningful over a consistent series, so a renamed or dropped benchmark
+// must be an explicit decision (-force), not an accident.
+func appendHistory(path string, r io.Reader, force bool) error {
 	var doc map[string]any
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return fmt.Errorf("append: stdin is not a JSON document: %w", err)
+	}
+	if !force {
+		if err := checkSameBenchmarkSet(path, doc); err != nil {
+			return err
+		}
 	}
 	line, err := json.Marshal(doc)
 	if err != nil {
@@ -284,4 +313,217 @@ func metricKey(unit string) string {
 	key := strings.ToLower(unit)
 	key = strings.ReplaceAll(key, "/", "_per_")
 	return key
+}
+
+// benchmarkNames returns the sorted benchmark names of one history document.
+func benchmarkNames(doc map[string]any) []string {
+	benches, _ := doc["benchmarks"].(map[string]any)
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkSameBenchmarkSet refuses an -append whose benchmark name set differs
+// from the last committed history entry (missing file or empty history is
+// fine: the first entry defines the set).
+func checkSameBenchmarkSet(path string, doc map[string]any) error {
+	entries, err := readHistory(path)
+	if errors.Is(err, fs.ErrNotExist) || (err == nil && len(entries) == 0) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	last := benchmarkNames(entries[len(entries)-1])
+	next := benchmarkNames(doc)
+	if len(last) == len(next) {
+		same := true
+		for i := range last {
+			if last[i] != next[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return nil
+		}
+	}
+	missing, added := diffSets(last, next)
+	return fmt.Errorf("append: benchmark set differs from the last history entry (missing: %v, new: %v); the windowed gate needs a consistent series — re-run with -force if the change is intentional", missing, added)
+}
+
+// diffSets returns the elements of a not in b and of b not in a (both
+// inputs sorted).
+func diffSets(a, b []string) (onlyA, onlyB []string) {
+	inB := make(map[string]bool, len(b))
+	for _, x := range b {
+		inB[x] = true
+	}
+	inA := make(map[string]bool, len(a))
+	for _, x := range a {
+		inA[x] = true
+	}
+	for _, x := range a {
+		if !inB[x] {
+			onlyA = append(onlyA, x)
+		}
+	}
+	for _, x := range b {
+		if !inA[x] {
+			onlyB = append(onlyB, x)
+		}
+	}
+	return onlyA, onlyB
+}
+
+// readHistory parses every line of the JSON-lines history file.
+func readHistory(path string) ([]map[string]any, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var entries []map[string]any
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			return nil, fmt.Errorf("history %s line %d: %w", path, len(entries)+1, err)
+		}
+		entries = append(entries, doc)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// historyMetric extracts one benchmark metric from a history entry.
+func historyMetric(doc map[string]any, bench, metric string) (float64, bool) {
+	benches, _ := doc["benchmarks"].(map[string]any)
+	m, _ := benches[bench].(map[string]any)
+	v, ok := m[metric].(float64)
+	return v, ok
+}
+
+// median returns the median of a non-empty slice (input is sorted in
+// place).
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// compareHistory is the windowed regression gate (`make benchcheck-history`):
+// the current run is compared per benchmark against the median of the last
+// `window` committed history entries — ns/op with the relative threshold
+// (medians absorb the single-run noise that makes one-shot ns comparisons
+// advisory-only), allocs/op strictly (allocation counts are deterministic,
+// so any increase over the windowed median is a real regression). With
+// fewer than three history entries the gate self-skips (exit 0) with a
+// notice: a median over one or two points is just a noisy point comparison,
+// so the gate arms itself once the committed history is deep enough.
+//
+// ns/op medians are only taken over history entries recorded at the same
+// -benchtime as the current run (entries without a stamp count as the "1s"
+// default): a 100-iteration QUICK run amortises warmup differently from a
+// 1s run, so mixing the two would bias the gate. allocs/op is
+// benchtime-insensitive and gates against the full window, which keeps the
+// QUICK CI job a real (bounded-time) blocker on the deterministic metric
+// even while its ns comparisons have no same-benchtime history yet.
+func compareHistory(path string, current map[string]map[string]float64, threshold float64, window int, benchtime string) int {
+	entries, err := readHistory(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 1
+	}
+	const minEntries = 3
+	if len(entries) < minEntries {
+		fmt.Printf("benchjson: history %s has %d entries; the windowed gate needs >= %d — skipping (gate arms as history accumulates)\n",
+			path, len(entries), minEntries)
+		return 0
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: compare-history: no benchmark results on stdin")
+		return 1
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > len(entries) {
+		window = len(entries)
+	}
+	tail := entries[len(entries)-window:]
+
+	names := benchmarkNames(tail[len(tail)-1])
+	regressions := 0
+	nsSkipped := 0
+	for _, name := range names {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("?  %s: in history but not in this run\n", name)
+			continue
+		}
+		for _, metric := range []string{"ns_per_op", "allocs_per_op"} {
+			var series []float64
+			for _, e := range tail {
+				if metric == "ns_per_op" && entryBenchtime(e) != benchtime {
+					continue // ns is only comparable at the same benchtime
+				}
+				if v, ok := historyMetric(e, name, metric); ok {
+					series = append(series, v)
+				}
+			}
+			now, haveNow := cur[metric]
+			if len(series) < minEntries || !haveNow {
+				if metric == "ns_per_op" && haveNow {
+					nsSkipped++
+				}
+				continue // not enough windowed data for this benchmark yet
+			}
+			med := median(series)
+			gate := med
+			kind := "strict"
+			if metric == "ns_per_op" {
+				gate = med * (1 + threshold)
+				kind = fmt.Sprintf("+%.0f%%", 100*threshold)
+			}
+			if now > gate {
+				regressions++
+				fmt.Printf("REGRESSION %s %s: median(%d) %g -> %g (gate %s)\n",
+					name, metric, len(series), med, now, kind)
+			} else {
+				fmt.Printf("ok %s %s: median(%d) %g -> %g\n", name, metric, len(series), med, now)
+			}
+		}
+	}
+	if nsSkipped > 0 {
+		fmt.Printf("benchjson: ns/op skipped for %d benchmark(s): fewer than %d history entries at benchtime %s\n", nsSkipped, minEntries, benchtime)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d metric(s) regressed vs the %d-entry window of %s\n", regressions, window, path)
+		return 1
+	}
+	fmt.Printf("benchjson: no regressions vs the %d-entry window of %s\n", window, path)
+	return 0
+}
+
+// entryBenchtime returns a history entry's recorded -benchtime, defaulting
+// to "1s" for entries written before the stamp existed.
+func entryBenchtime(doc map[string]any) string {
+	if bt, ok := doc["benchtime"].(string); ok && bt != "" {
+		return bt
+	}
+	return "1s"
 }

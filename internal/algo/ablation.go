@@ -16,7 +16,7 @@ import (
 // closed form and the phase-structure lemmas of Section 4 stop holding
 // exactly.
 func SearchRoundNoWait(k int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		for j := 0; j <= 2*k-1; j++ {
 			delta, rho := RoundAnnulus(j, k)
 			for s := range SearchAnnulus(delta, 2*delta, rho) {
@@ -39,9 +39,9 @@ func UniversalNoRev() trajectory.Source {
 	return trajectory.Repeat(func(n int) trajectory.Source {
 		s := SearchAllDuration(n)
 		return trajectory.Concat(
-			trajectory.FromSlice([]segment.Segment{segment.NewWait(geom.Zero, 2*s)}),
+			trajectory.FromSlice([]segment.Seg{segment.NewWait(geom.Zero, 2*s).Seg()}),
 			SearchAll(n),
-			trajectory.FromSlice([]segment.Segment{segment.NewWait(geom.Zero, s)}),
+			trajectory.FromSlice([]segment.Seg{segment.NewWait(geom.Zero, s).Seg()}),
 		)
 	})
 }

@@ -22,7 +22,7 @@ func TestSearchRoundNoWaitDuration(t *testing.T) {
 
 func TestSearchRoundNoWaitHasNoWaits(t *testing.T) {
 	for s := range SearchRoundNoWait(2) {
-		if _, isWait := s.(segment.Wait); isWait {
+		if s.Kind() == segment.KindWait {
 			t.Fatal("SearchRoundNoWait emitted a wait")
 		}
 	}
@@ -38,7 +38,7 @@ func TestUniversalNoRevSchedule(t *testing.T) {
 			break
 		}
 		// Detect the start of the next round via the long wait.
-		if w, ok := s.(segment.Wait); ok && w.Time == 2*SearchAllDuration(n+1) {
+		if w, ok := s.AsWait(); ok && w.Time == 2*SearchAllDuration(n+1) {
 			want := 0.0
 			for j := 1; j <= n; j++ {
 				want += 4 * SearchAllDuration(j)
@@ -57,7 +57,7 @@ func TestUniversalNoRevSchedule(t *testing.T) {
 func TestUniversalNoInactiveHasNoLongWaits(t *testing.T) {
 	var checked int
 	for s := range UniversalNoInactive() {
-		if w, ok := s.(segment.Wait); ok && w.At == geom.Zero {
+		if w, ok := s.AsWait(); ok && w.At == geom.Zero {
 			// Only the intra-round FinalWait waits are allowed, never the
 			// 2S(n) inactive phases.
 			for n := 1; n <= 6; n++ {

@@ -4,7 +4,6 @@ import (
 	"testing"
 
 	"repro/internal/geom"
-	"repro/internal/segment"
 )
 
 // TestUniversalPhaseStartMatchesStreamWalk pins the replay contract: the
@@ -19,7 +18,7 @@ func TestUniversalPhaseStartMatchesStreamWalk(t *testing.T) {
 	elapsed := 0.0
 	n := 1
 	for seg := range Universal() {
-		if w, ok := seg.(segment.Wait); ok && w.At == geom.Zero && w.Time == 2*SearchAllDuration(n) {
+		if w, ok := seg.AsWait(); ok && w.At == geom.Zero && w.Time == 2*SearchAllDuration(n) {
 			wantI[n] = elapsed
 			wantA[n] = elapsed + w.Time
 			n++

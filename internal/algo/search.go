@@ -7,6 +7,12 @@
 // unit speed, unit clock, the robot's own origin and axes. The frame package
 // maps them into the global frame of a robot with arbitrary attributes.
 //
+// Generators are written as yield-helper chains (yieldSearchCircle →
+// yieldSearchAnnulus → ...) rather than nested Source closures, so producing
+// a segment stream allocates nothing per round or per sub-structure: the
+// public constructors return one closure each, and every segment is pushed
+// as a value (segment.Seg).
+//
 // Naming follows the paper:
 //
 //	Algorithm 1  SearchCircle(δ)
@@ -26,15 +32,21 @@ import (
 	"repro/internal/trajectory"
 )
 
+// yieldSearchCircle pushes the segments of Algorithm 1 and reports whether
+// the consumer wants more.
+func yieldSearchCircle(yield func(segment.Seg) bool, delta float64) bool {
+	out := geom.V(delta, 0)
+	return yield(segment.UnitLine(geom.Zero, out).Seg()) &&
+		yield(segment.FullCircle(geom.Zero, delta, 0).Seg()) &&
+		yield(segment.UnitLine(out, geom.Zero).Seg())
+}
+
 // SearchCircle is Algorithm 1: move along the +x axis from the origin to
 // radial position δ, traverse the circle of radius δ counter-clockwise, and
 // return to the origin. Total duration 2(π+1)δ.
 func SearchCircle(delta float64) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
-		out := geom.V(delta, 0)
-		_ = yield(segment.UnitLine(geom.Zero, out)) &&
-			yield(segment.FullCircle(geom.Zero, delta, 0)) &&
-			yield(segment.UnitLine(out, geom.Zero))
+	return func(yield func(segment.Seg) bool) {
+		yieldSearchCircle(yield, delta)
 	}
 }
 
@@ -44,19 +56,23 @@ func AnnulusCircleCount(delta1, delta2, rho float64) int {
 	return int(math.Ceil((delta2 - delta1) / (2 * rho)))
 }
 
+// yieldSearchAnnulus pushes the segments of Algorithm 2.
+func yieldSearchAnnulus(yield func(segment.Seg) bool, delta1, delta2, rho float64) bool {
+	m := AnnulusCircleCount(delta1, delta2, rho)
+	for i := 0; i <= m; i++ {
+		if !yieldSearchCircle(yield, delta1+2*float64(i)*rho) {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchAnnulus is Algorithm 2: repeatedly SearchCircle(δ1 + 2iρ) for
 // i = 0..⌈(δ2−δ1)/(2ρ)⌉, bringing the robot within ρ of every point of the
 // annulus with inner radius δ1 and outer radius δ2.
 func SearchAnnulus(delta1, delta2, rho float64) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
-		m := AnnulusCircleCount(delta1, delta2, rho)
-		for i := 0; i <= m; i++ {
-			for s := range SearchCircle(delta1 + 2*float64(i)*rho) {
-				if !yield(s) {
-					return
-				}
-			}
-		}
+	return func(yield func(segment.Seg) bool) {
+		yieldSearchAnnulus(yield, delta1, delta2, rho)
 	}
 }
 
@@ -75,20 +91,23 @@ func FinalWait(k int) float64 {
 	return 3 * (math.Pi + 1) * (math.Ldexp(1, k) + math.Ldexp(1, -k))
 }
 
+// yieldSearchRound pushes the segments of Algorithm 3, Search(k).
+func yieldSearchRound(yield func(segment.Seg) bool, k int) bool {
+	for j := 0; j <= 2*k-1; j++ {
+		delta, rho := RoundAnnulus(j, k)
+		if !yieldSearchAnnulus(yield, delta, 2*delta, rho) {
+			return false
+		}
+	}
+	return yield(segment.NewWait(geom.Zero, FinalWait(k)).Seg())
+}
+
 // SearchRound is Algorithm 3, Search(k): for j = 0..2k−1 search the annulus
 // with radii δ(j,k), δ(j+1,k) at granularity ρ(j,k), then wait FinalWait(k)
 // at the origin. Total duration 3(π+1)(k+1)·2^(k+1).
 func SearchRound(k int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
-		for j := 0; j <= 2*k-1; j++ {
-			delta, rho := RoundAnnulus(j, k)
-			for s := range SearchAnnulus(delta, 2*delta, rho) {
-				if !yield(s) {
-					return
-				}
-			}
-		}
-		yield(segment.NewWait(geom.Zero, FinalWait(k)))
+	return func(yield func(segment.Seg) bool) {
+		yieldSearchRound(yield, k)
 	}
 }
 
@@ -96,32 +115,46 @@ func SearchRound(k int) trajectory.Source {
 // end. It is the paper's near-optimal search algorithm (Theorem 1) and also
 // its rendezvous algorithm for robots with symmetric clocks (Theorem 2).
 func CumulativeSearch() trajectory.Source {
-	return trajectory.Repeat(SearchRound)
-}
-
-// SearchAll is Algorithm 5: Search(1), Search(2), ..., Search(n).
-func SearchAll(n int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
-		for k := 1; k <= n; k++ {
-			for s := range SearchRound(k) {
-				if !yield(s) {
-					return
-				}
+	return func(yield func(segment.Seg) bool) {
+		for k := 1; ; k++ {
+			if !yieldSearchRound(yield, k) {
+				return
 			}
 		}
 	}
 }
 
+// yieldSearchAll pushes the segments of Algorithm 5.
+func yieldSearchAll(yield func(segment.Seg) bool, n int) bool {
+	for k := 1; k <= n; k++ {
+		if !yieldSearchRound(yield, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchAll is Algorithm 5: Search(1), Search(2), ..., Search(n).
+func SearchAll(n int) trajectory.Source {
+	return func(yield func(segment.Seg) bool) {
+		yieldSearchAll(yield, n)
+	}
+}
+
+// yieldSearchAllRev pushes the segments of Algorithm 6.
+func yieldSearchAllRev(yield func(segment.Seg) bool, n int) bool {
+	for k := n; k >= 1; k-- {
+		if !yieldSearchRound(yield, k) {
+			return false
+		}
+	}
+	return true
+}
+
 // SearchAllRev is Algorithm 6: Search(n), Search(n−1), ..., Search(1).
 func SearchAllRev(n int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
-		for k := n; k >= 1; k-- {
-			for s := range SearchRound(k) {
-				if !yield(s) {
-					return
-				}
-			}
-		}
+	return func(yield func(segment.Seg) bool) {
+		yieldSearchAllRev(yield, n)
 	}
 }
 
@@ -137,13 +170,17 @@ func SearchAllDuration(n int) float64 {
 // performs SearchAll(n) followed by SearchAllRev(n) (the active phase, also
 // of length 2S(n)).
 func Universal() trajectory.Source {
-	return trajectory.Repeat(func(n int) trajectory.Source {
-		return trajectory.Concat(
-			trajectory.FromSlice([]segment.Segment{
-				segment.NewWait(geom.Zero, 2*SearchAllDuration(n)),
-			}),
-			SearchAll(n),
-			SearchAllRev(n),
-		)
-	})
+	return func(yield func(segment.Seg) bool) {
+		for n := 1; ; n++ {
+			if !yield(segment.NewWait(geom.Zero, 2*SearchAllDuration(n)).Seg()) {
+				return
+			}
+			if !yieldSearchAll(yield, n) {
+				return
+			}
+			if !yieldSearchAllRev(yield, n) {
+				return
+			}
+		}
+	}
 }

@@ -5,7 +5,6 @@ import (
 	"testing"
 
 	"repro/internal/geom"
-	"repro/internal/segment"
 	"repro/internal/testutil"
 	"repro/internal/trajectory"
 )
@@ -55,7 +54,7 @@ func TestSearchCircleShape(t *testing.T) {
 	if segs[0].Start() != geom.Zero || segs[2].End() != geom.Zero {
 		t.Error("SearchCircle must start and end at the origin")
 	}
-	arc, ok := segs[1].(segment.Arc)
+	arc, ok := segs[1].AsArc()
 	if !ok {
 		t.Fatalf("middle segment is %T, want Arc", segs[1])
 	}
@@ -86,7 +85,7 @@ func TestSearchAnnulusCoversRadii(t *testing.T) {
 	d1, d2, rho := 0.5, 1.0, 0.0625
 	var circles []float64
 	for s := range SearchAnnulus(d1, d2, rho) {
-		if arc, ok := s.(segment.Arc); ok {
+		if arc, ok := s.AsArc(); ok {
 			circles = append(circles, arc.Radius)
 		}
 	}
@@ -126,7 +125,7 @@ func TestSearchRoundDuration(t *testing.T) {
 
 func TestSearchRoundEndsAtOriginWithWait(t *testing.T) {
 	segs := trajectory.Collect(SearchRound(2))
-	last, ok := segs[len(segs)-1].(segment.Wait)
+	last, ok := segs[len(segs)-1].AsWait()
 	if !ok {
 		t.Fatalf("last segment is %T, want Wait", segs[len(segs)-1])
 	}
@@ -188,7 +187,7 @@ func TestSearchAllRevIsReversedOrder(t *testing.T) {
 	// is δ(0,n) = 2^(−n); the first arc of SearchAll(n) has radius 2^(−1).
 	firstArcRadius := func(src trajectory.Source) float64 {
 		for s := range src {
-			if arc, ok := s.(segment.Arc); ok {
+			if arc, ok := s.AsArc(); ok {
 				return arc.Radius
 			}
 		}
@@ -213,7 +212,7 @@ func TestUniversalRoundStructure(t *testing.T) {
 	wantRounds := 3
 	next := 1
 	for s := range Universal() {
-		if w, ok := s.(segment.Wait); ok && w.Time == 2*SearchAllDuration(next) && w.At == geom.Zero {
+		if w, ok := s.AsWait(); ok && w.Time == 2*SearchAllDuration(next) && w.At == geom.Zero {
 			boundary = append(boundary, elapsed)
 			next++
 		}
@@ -256,7 +255,7 @@ func TestBaselinesAreInfinite(t *testing.T) {
 func TestKnownVisibilityRadii(t *testing.T) {
 	var radii []float64
 	for s := range KnownVisibilitySearch(0.5) {
-		if arc, ok := s.(segment.Arc); ok {
+		if arc, ok := s.AsArc(); ok {
 			radii = append(radii, arc.Radius)
 			if len(radii) == 4 {
 				break
@@ -274,7 +273,7 @@ func TestKnownVisibilityRadii(t *testing.T) {
 func TestExpandingRingsRadii(t *testing.T) {
 	var radii []float64
 	for s := range ExpandingRings() {
-		if arc, ok := s.(segment.Arc); ok {
+		if arc, ok := s.AsArc(); ok {
 			radii = append(radii, arc.Radius)
 			if len(radii) == 5 {
 				break

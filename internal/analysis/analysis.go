@@ -18,32 +18,32 @@ import (
 // path traced by seg. Lines, waits, and arcs are closed-form; similarity
 // transforms of them unwrap exactly; anything else is sampled densely (the
 // paper's algorithms never produce such segments).
-func DistanceToSegment(p geom.Vec, seg segment.Segment) float64 {
-	switch s := seg.(type) {
-	case segment.Wait:
-		return p.Dist(s.At)
-	case segment.Line:
-		return distancePointToLineSegment(p, s.From, s.To)
-	case segment.Arc:
-		return distancePointToArc(p, s)
-	case *segment.Transformed:
-		if g, ok := segment.ArcAt(s); ok {
-			return distancePointToArcGeometry(p, g)
+func DistanceToSegment(p geom.Vec, seg segment.Seg) float64 {
+	if !seg.Framed() && !seg.Modulated() {
+		switch seg.Kind() {
+		case segment.KindWait:
+			w, _ := seg.AsWait()
+			return p.Dist(w.At)
+		case segment.KindLine:
+			l, _ := seg.AsLine()
+			return distancePointToLineSegment(p, l.From, l.To)
+		default:
+			a, _ := seg.AsArc()
+			return distancePointToArc(p, a)
 		}
-		if start, end, isLinear := transformedEndpoints(s); isLinear {
-			return distancePointToLineSegment(p, start, end)
-		}
+	}
+	if g, ok := segment.ArcAt(&seg); ok {
+		return distancePointToArcGeometry(p, g)
+	}
+	// Segments carrying both a speed modulation and a frame transform fall
+	// through to sampling even for waits/lines, mirroring the former
+	// doubly-wrapped representation (which unwrapped only one transform
+	// level) byte for byte — the same exclusion motion.linearOf and
+	// segment.ArcAt apply.
+	if k := seg.Kind(); (k == segment.KindWait || k == segment.KindLine) && !(seg.Framed() && seg.Modulated()) {
+		return distancePointToLineSegment(p, seg.Start(), seg.End())
 	}
 	return sampledDistance(p, seg)
-}
-
-// transformedEndpoints reports the endpoints of a transformed line/wait.
-func transformedEndpoints(s *segment.Transformed) (start, end geom.Vec, ok bool) {
-	switch s.Inner.(type) {
-	case segment.Wait, segment.Line:
-		return s.Start(), s.End(), true
-	}
-	return geom.Vec{}, geom.Vec{}, false
 }
 
 func distancePointToLineSegment(p, a, b geom.Vec) float64 {
@@ -112,7 +112,7 @@ func normAngle(a float64) float64 {
 }
 
 // sampledDistance is the fallback for exotic segments.
-func sampledDistance(p geom.Vec, seg segment.Segment) float64 {
+func sampledDistance(p geom.Vec, seg segment.Seg) float64 {
 	const samples = 256
 	d := math.Inf(1)
 	dur := seg.Duration()

@@ -12,7 +12,7 @@ import (
 )
 
 func TestDistanceToLineSegment(t *testing.T) {
-	l := segment.UnitLine(geom.V(0, 0), geom.V(2, 0))
+	l := segment.UnitLine(geom.V(0, 0), geom.V(2, 0)).Seg()
 	tests := []struct {
 		p    geom.Vec
 		want float64
@@ -33,14 +33,14 @@ func TestDistanceToLineSegment(t *testing.T) {
 }
 
 func TestDistanceToWait(t *testing.T) {
-	w := segment.NewWait(geom.V(1, 1), 5)
+	w := segment.NewWait(geom.V(1, 1), 5).Seg()
 	if got := DistanceToSegment(geom.V(4, 5), w); math.Abs(got-5) > 1e-12 {
 		t.Errorf("dist = %v, want 5", got)
 	}
 }
 
 func TestDistanceToFullCircle(t *testing.T) {
-	a := segment.FullCircle(geom.Zero, 2, 0)
+	a := segment.FullCircle(geom.Zero, 2, 0).Seg()
 	tests := []struct {
 		p    geom.Vec
 		want float64
@@ -59,7 +59,7 @@ func TestDistanceToFullCircle(t *testing.T) {
 
 func TestDistanceToPartialArc(t *testing.T) {
 	// Quarter arc from angle 0 to π/2 on the unit circle.
-	a := segment.NewArc(geom.Zero, 1, 0, math.Pi/2, 1)
+	a := segment.NewArc(geom.Zero, 1, 0, math.Pi/2, 1).Seg()
 	tests := []struct {
 		p    geom.Vec
 		want float64
@@ -78,7 +78,7 @@ func TestDistanceToPartialArc(t *testing.T) {
 
 func TestDistanceToClockwiseArc(t *testing.T) {
 	// Clockwise quarter arc from angle 0 to −π/2.
-	a := segment.NewArc(geom.Zero, 1, 0, -math.Pi/2, 1)
+	a := segment.NewArc(geom.Zero, 1, 0, -math.Pi/2, 1).Seg()
 	// Point at angle −π/4 is inside the sweep.
 	if got := DistanceToSegment(geom.Polar(2, -math.Pi/4), a); math.Abs(got-1) > 1e-9 {
 		t.Errorf("dist inside sweep = %v, want 1", got)
@@ -93,11 +93,11 @@ func TestDistanceToClockwiseArc(t *testing.T) {
 // TestDistanceToSegmentAgainstSampling cross-validates the closed forms on
 // random points against dense sampling.
 func TestDistanceToSegmentAgainstSampling(t *testing.T) {
-	segs := []segment.Segment{
-		segment.UnitLine(geom.V(-1, 2), geom.V(3, -1)),
-		segment.NewArc(geom.V(1, 1), 1.7, 0.4, 2.0, 1),
-		segment.NewArc(geom.V(-2, 0), 0.9, 1.0, -2.5, 1),
-		segment.FullCircle(geom.V(0.5, 0.5), 2.2, 1.1),
+	segs := []segment.Seg{
+		segment.UnitLine(geom.V(-1, 2), geom.V(3, -1)).Seg(),
+		segment.NewArc(geom.V(1, 1), 1.7, 0.4, 2.0, 1).Seg(),
+		segment.NewArc(geom.V(-2, 0), 0.9, 1.0, -2.5, 1).Seg(),
+		segment.FullCircle(geom.V(0.5, 0.5), 2.2, 1.1).Seg(),
 	}
 	f := func(px, py float64) bool {
 		px = math.Mod(px, 8)
@@ -124,13 +124,15 @@ func TestDistanceToSegmentAgainstSampling(t *testing.T) {
 func TestDistanceToTransformed(t *testing.T) {
 	m := geom.Affine{M: geom.FrameMatrix(0.5, 1.2, -1), T: geom.V(2, -1)}
 	// Transformed line.
-	trLine := segment.NewTransformed(segment.UnitLine(geom.V(0, 0), geom.V(2, 0)), m, 1.5)
+	trLineSeg := segment.UnitLine(geom.V(0, 0), geom.V(2, 0)).Seg()
+	trLine := trLineSeg.Transformed(m, 1.5)
 	p := geom.V(1, 1)
 	if got, want := DistanceToSegment(p, trLine), sampledDistance(p, trLine); math.Abs(got-want) > 0.05 {
 		t.Errorf("transformed line dist = %v, sampled %v", got, want)
 	}
 	// Transformed arc.
-	trArc := segment.NewTransformed(segment.NewArc(geom.V(1, 0), 1, 0, 2, 1), m, 2)
+	trArcSeg := segment.NewArc(geom.V(1, 0), 1, 0, 2, 1).Seg()
+	trArc := trArcSeg.Transformed(m, 2)
 	if got, want := DistanceToSegment(p, trArc), sampledDistance(p, trArc); math.Abs(got-want) > 0.05 {
 		t.Errorf("transformed arc dist = %v, sampled %v", got, want)
 	}

@@ -35,15 +35,8 @@ func phaseBoundaries(t *testing.T, a Attributes, maxN int) []float64 {
 	return nil
 }
 
-func isWait(s segment.Segment) bool {
-	switch seg := s.(type) {
-	case segment.Wait:
-		return true
-	case *segment.Transformed:
-		_, ok := seg.Inner.(segment.Wait)
-		return ok
-	}
-	return false
+func isWait(s segment.Seg) bool {
+	return s.Kind() == segment.KindWait
 }
 
 // TestScheduleScalesWithTau validates the premise of Lemmas 9-10: robot R′

@@ -140,7 +140,7 @@ func firstDiameterDrop(program trajectory.Source, in Instance, opt Options) (t f
 		slack = 1e-9 * in.R
 	}
 
-	motions := make([]motion.Motion, n)
+	movers := make([]motion.Mover, n)
 	ends := make([]float64, n)
 	now := 0.0
 	for now < opt.Horizon {
@@ -149,13 +149,14 @@ func firstDiameterDrop(program trajectory.Source, in Instance, opt Options) (t f
 		for i, w := range walkers {
 			seg, start, alive := w.SegmentAt(now)
 			if !alive {
-				motions[i] = motion.Static(w.FinalPosition())
+				movers[i].SetStatic(w.FinalPosition())
 				ends[i] = math.Inf(1)
 				continue
 			}
 			allHalted = false
-			motions[i] = motion.FromSegment(seg, start)
-			ends[i] = start + seg.Duration()
+			dur := seg.Duration()
+			movers[i].Set(&seg, start, dur)
+			ends[i] = start + dur
 			if ends[i] < intervalEnd {
 				intervalEnd = ends[i]
 			}
@@ -163,7 +164,7 @@ func firstDiameterDrop(program trajectory.Source, in Instance, opt Options) (t f
 
 		if allHalted {
 			// Diameter is constant forever.
-			diam, _ := diameterAndRate(motions, now)
+			diam, _ := diameterAndRate(movers, now)
 			if diam-in.R <= slack {
 				return now, true, 0, nil
 			}
@@ -173,7 +174,7 @@ func firstDiameterDrop(program trajectory.Source, in Instance, opt Options) (t f
 		// Safe advance on g(t) = diameter − R within [now, intervalEnd].
 		t := now
 		for t < intervalEnd {
-			diam, closeRate := diameterAndRate(motions, t)
+			diam, closeRate := diameterAndRate(movers, t)
 			g := diam - in.R
 			if g <= slack {
 				return t, true, 0, nil
@@ -185,19 +186,19 @@ func firstDiameterDrop(program trajectory.Source, in Instance, opt Options) (t f
 		}
 		now = intervalEnd
 	}
-	diam, _ := diameterAndRate(motions, opt.Horizon)
+	diam, _ := diameterAndRate(movers, opt.Horizon)
 	return 0, false, diam, nil
 }
 
 // diameterAndRate returns the robots' diameter at time t and an upper bound
 // on the rate at which the diameter can decrease (the sum of the two
 // largest speed bounds).
-func diameterAndRate(motions []motion.Motion, t float64) (diam, rate float64) {
-	pos := make([]geom.Vec, len(motions))
-	speeds := make([]float64, len(motions))
-	for i, m := range motions {
-		pos[i] = m.At(t)
-		speeds[i] = m.SpeedBound()
+func diameterAndRate(movers []motion.Mover, t float64) (diam, rate float64) {
+	pos := make([]geom.Vec, len(movers))
+	speeds := make([]float64, len(movers))
+	for i := range movers {
+		pos[i] = movers[i].At(t)
+		speeds[i] = movers[i].SpeedBound()
 	}
 	for i := range pos {
 		for j := i + 1; j < len(pos); j++ {

@@ -44,11 +44,11 @@ func zigZagRound(k int) trajectory.Source {
 	reach := math.Ldexp(1, k)
 	pos := geom.V(reach, 0)
 	neg := geom.V(-reach, 0)
-	return trajectory.FromSlice([]segment.Segment{
-		segment.UnitLine(geom.Zero, pos),
-		segment.UnitLine(pos, geom.Zero),
-		segment.UnitLine(geom.Zero, neg),
-		segment.UnitLine(neg, geom.Zero),
+	return trajectory.FromSlice([]segment.Seg{
+		segment.UnitLine(geom.Zero, pos).Seg(),
+		segment.UnitLine(pos, geom.Zero).Seg(),
+		segment.UnitLine(geom.Zero, neg).Seg(),
+		segment.UnitLine(neg, geom.Zero).Seg(),
 	})
 }
 
@@ -61,7 +61,7 @@ func ZigZagPrefixTime(k int) float64 { return 4 * (math.Ldexp(1, k+1) - 1) }
 // SweepAll returns rounds 0..n of the zig-zag (finite), the line analogue
 // of the planar SearchAll.
 func SweepAll(n int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		for k := 0; k <= n; k++ {
 			for s := range zigZagRound(k) {
 				if !yield(s) {
@@ -74,7 +74,7 @@ func SweepAll(n int) trajectory.Source {
 
 // SweepAllRev returns rounds n..0 (finite), the analogue of SearchAllRev.
 func SweepAllRev(n int) trajectory.Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		for k := n; k >= 0; k-- {
 			for s := range zigZagRound(k) {
 				if !yield(s) {
@@ -98,8 +98,8 @@ func SweepAllTime(n int) float64 { return ZigZagPrefixTime(n) }
 func Universal() trajectory.Source {
 	return trajectory.Repeat(func(n int) trajectory.Source {
 		return trajectory.Concat(
-			trajectory.FromSlice([]segment.Segment{
-				segment.NewWait(geom.Zero, 2*SweepAllTime(n)),
+			trajectory.FromSlice([]segment.Seg{
+				segment.NewWait(geom.Zero, 2*SweepAllTime(n)).Seg(),
 			}),
 			SweepAll(n),
 			SweepAllRev(n),

@@ -108,53 +108,29 @@ func DefaultOptions(r float64) Options {
 var ErrIterationBudget = errors.New("motion: safe-advance iteration budget exhausted")
 
 // FirstContact returns the earliest t in [t0, t1] at which |a(t) − b(t)| ≤ r.
-// found is false when no such time exists in the interval. Scratch-backed
-// *Linear and *Circular motions take the same closed-form paths as their
-// value counterparts.
+// found is false when no such time exists in the interval. The simulator hot
+// path uses the equivalent Contact over value-typed Movers; FirstContact
+// remains the general interface-level entry point.
 func FirstContact(a, b Motion, r, t0, t1 float64, opt Options) (t float64, found bool, err error) {
 	if t1 < t0 {
 		return 0, false, nil
 	}
-	if am, ok := asLinear(a); ok {
-		if bm, ok := asLinear(b); ok {
+	if am, ok := a.(Linear); ok {
+		if bm, ok := b.(Linear); ok {
 			t, found = linearLinear(am, bm, r, t0, t1)
 			return t, found, nil
 		}
-		if bm, ok := asCircular(b); ok && am.Vel == (geom.Vec{}) {
+		if bm, ok := b.(Circular); ok && am.Vel == (geom.Vec{}) {
 			t, found = circularStatic(bm, am.P0, r, t0, t1)
 			return t, found, nil
 		}
-	} else if am, ok := asCircular(a); ok {
-		if bm, ok := asLinear(b); ok && bm.Vel == (geom.Vec{}) {
+	} else if am, ok := a.(Circular); ok {
+		if bm, ok := b.(Linear); ok && bm.Vel == (geom.Vec{}) {
 			t, found = circularStatic(am, bm.P0, r, t0, t1)
 			return t, found, nil
 		}
 	}
 	return conservative(a, b, r, t0, t1, opt)
-}
-
-// asLinear unwraps a Linear motion whether boxed by value or via a Scratch
-// pointer.
-func asLinear(m Motion) (Linear, bool) {
-	switch v := m.(type) {
-	case Linear:
-		return v, true
-	case *Linear:
-		return *v, true
-	}
-	return Linear{}, false
-}
-
-// asCircular unwraps a Circular motion whether boxed by value or via a
-// Scratch pointer.
-func asCircular(m Motion) (Circular, bool) {
-	switch v := m.(type) {
-	case Circular:
-		return v, true
-	case *Circular:
-		return *v, true
-	}
-	return Circular{}, false
 }
 
 // linearLinear solves |Δp0 + Δv·(t−t0)| = r on [t0, t1] exactly.
@@ -267,7 +243,15 @@ func forwardDelta(from, to float64) float64 {
 // with valid speed bounds. It reports contact when the gap is ≤ slack above
 // r; it never advances past a true contact because the gap closes at most
 // at the combined speed bound.
-func conservative(a, b Motion, r, t0, t1 float64, opt Options) (float64, bool, error) {
+//
+// It is generic over the motion representation so the one copy of the
+// algorithm serves both the interface entry point (FirstContact, M =
+// Motion) and the value-typed hot path (Contact, M = *Mover): a fix to the
+// iteration can never diverge between the two.
+func conservative[M interface {
+	At(t float64) geom.Vec
+	SpeedBound() float64
+}](a, b M, r, t0, t1 float64, opt Options) (float64, bool, error) {
 	u := a.SpeedBound() + b.SpeedBound()
 	t := t0
 	g := a.At(t).Dist(b.At(t)) - r

@@ -300,7 +300,7 @@ func TestMinDistance(t *testing.T) {
 }
 
 func TestFromSegmentWait(t *testing.T) {
-	m := FromSegment(segment.NewWait(geom.V(1, 2), 5), 7)
+	m := FromSegment(segment.NewWait(geom.V(1, 2), 5).Seg(), 7)
 	lin, ok := m.(Linear)
 	if !ok {
 		t.Fatalf("FromSegment(Wait) = %T, want Linear", m)
@@ -311,7 +311,7 @@ func TestFromSegmentWait(t *testing.T) {
 }
 
 func TestFromSegmentLine(t *testing.T) {
-	seg := segment.NewLine(geom.V(0, 0), geom.V(4, 0), 2) // duration 2
+	seg := segment.NewLine(geom.V(0, 0), geom.V(4, 0), 2).Seg() // duration 2
 	m := FromSegment(seg, 10)
 	lin, ok := m.(Linear)
 	if !ok {
@@ -326,7 +326,7 @@ func TestFromSegmentLine(t *testing.T) {
 }
 
 func TestFromSegmentArc(t *testing.T) {
-	seg := segment.NewArc(geom.V(1, 1), 2, 0.5, 1.5, 1)
+	seg := segment.NewArc(geom.V(1, 1), 2, 0.5, 1.5, 1).Seg()
 	m := FromSegment(seg, 3)
 	circ, ok := m.(Circular)
 	if !ok {
@@ -344,18 +344,21 @@ func TestFromSegmentTransformed(t *testing.T) {
 	m := geom.Affine{M: geom.FrameMatrix(0.5, 1.1, -1), T: geom.V(2, 2)}
 
 	// Transformed line → Linear.
-	trLine := segment.NewTransformed(segment.UnitLine(geom.Zero, geom.V(2, 0)), m, 1.5)
+	trLineSeg := segment.UnitLine(geom.Zero, geom.V(2, 0)).Seg()
+	trLine := trLineSeg.Transformed(m, 1.5)
 	if _, ok := FromSegment(trLine, 0).(Linear); !ok {
 		t.Errorf("transformed line = %T, want Linear", FromSegment(trLine, 0))
 	}
 	// Transformed wait → Linear (static).
-	trWait := segment.NewTransformed(segment.NewWait(geom.V(1, 0), 2), m, 1.5)
+	trWaitSeg := segment.NewWait(geom.V(1, 0), 2).Seg()
+	trWait := trWaitSeg.Transformed(m, 1.5)
 	lin, ok := FromSegment(trWait, 0).(Linear)
 	if !ok || lin.Vel != (geom.Vec{}) {
 		t.Errorf("transformed wait = %T (%+v), want static Linear", FromSegment(trWait, 0), lin)
 	}
 	// Transformed arc → Circular, positions matching.
-	trArc := segment.NewTransformed(segment.NewArc(geom.V(1, 0), 1, 0, 2, 1), m, 2)
+	trArcSeg := segment.NewArc(geom.V(1, 0), 1, 0, 2, 1).Seg()
+	trArc := trArcSeg.Transformed(m, 2)
 	circ, ok := FromSegment(trArc, 5).(Circular)
 	if !ok {
 		t.Fatalf("transformed arc = %T, want Circular", FromSegment(trArc, 5))
@@ -372,7 +375,8 @@ func TestFromSegmentTransformedMotionAccuracy(t *testing.T) {
 	// A transformed line's Linear motion must match Position exactly at
 	// interior times (affine maps preserve uniform linear motion).
 	m := geom.Affine{M: geom.FrameMatrix(1.3, 2.7, +1), T: geom.V(-1, 4)}
-	tr := segment.NewTransformed(segment.UnitLine(geom.V(1, 1), geom.V(4, 5)), m, 0.7)
+	trSeg := segment.UnitLine(geom.V(1, 1), geom.V(4, 5)).Seg()
+	tr := trSeg.Transformed(m, 0.7)
 	lin := FromSegment(tr, 2).(Linear)
 	for i := 0; i <= 10; i++ {
 		lt := tr.Duration() * float64(i) / 10

@@ -8,14 +8,18 @@ import (
 // FromSegment converts a trajectory segment starting at absolute time
 // absStart into the most specific Motion the detector can exploit:
 //
-//   - waits and lines (including affinely transformed ones) → Linear,
+//   - waits and lines (including frame-transformed ones) → Linear,
 //   - arcs under similarity maps → Circular,
 //   - everything else → Func with the segment's speed bound.
-func FromSegment(seg segment.Segment, absStart float64) Motion {
-	if lin, ok := linearOf(seg, absStart); ok {
+//
+// The simulator hot path uses Mover.Set — the same conversion rules into
+// caller-owned storage — instead; FromSegment remains for one-off
+// conversions where the boxing does not matter.
+func FromSegment(seg segment.Seg, absStart float64) Motion {
+	if lin, ok := linearOf(&seg, absStart, seg.Duration()); ok {
 		return lin
 	}
-	if g, ok := segment.ArcAt(seg); ok {
+	if g, ok := segment.ArcAt(&seg); ok {
 		return Circular{
 			T0:     absStart,
 			Center: g.Center,
@@ -31,19 +35,23 @@ func FromSegment(seg segment.Segment, absStart float64) Motion {
 }
 
 // linearOf recognises segments whose global motion is exactly linear in
-// time: waits, lines, and affine transforms of either (an affine map of
-// uniform linear motion is uniform linear motion).
-func linearOf(seg segment.Segment, absStart float64) (Linear, bool) {
-	switch s := seg.(type) {
-	case segment.Wait:
-		return Static(s.At), true
-	case segment.Line:
-		return linearFromEndpoints(s.Start(), s.End(), s.Duration(), absStart), true
-	case *segment.Transformed:
-		switch s.Inner.(type) {
-		case segment.Wait, segment.Line:
-			return linearFromEndpoints(s.Start(), s.End(), s.Duration(), absStart), true
+// time: waits, lines, and frame transforms of either (an affine map of
+// uniform linear motion is uniform linear motion). A segment carrying both
+// a speed modulation and a frame transform is left to the conservative
+// fallback, matching the former one-level unwrapping of nested transforms.
+// dur must equal seg.Duration() (precomputed by the caller).
+func linearOf(seg *segment.Seg, absStart, dur float64) (Linear, bool) {
+	switch seg.Kind() {
+	case segment.KindWait, segment.KindLine:
+		if seg.Framed() && seg.Modulated() {
+			return Linear{}, false
 		}
+		if !seg.Framed() && !seg.Modulated() {
+			if w, ok := seg.AsWait(); ok {
+				return Static(w.At), true
+			}
+		}
+		return linearFromEndpoints(seg.Start(), seg.End(), dur, absStart), true
 	}
 	return Linear{}, false
 }

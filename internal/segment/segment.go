@@ -1,10 +1,13 @@
 // Package segment defines the exact motion primitives out of which all robot
 // trajectories are composed: straight-line moves, circular arcs, and waits.
 //
-// A Segment describes motion over a *local* time interval [0, Duration()].
-// Positions are exact closed forms — no spatial discretisation — so the
-// durations of the paper's algorithms match their closed-form analysis to
-// float64 round-off, which the phase-structure lemmas of Section 4 rely on.
+// The central type is Seg, a value-typed union of the three payload kinds
+// plus the folded frame/modulation transforms; Wait, Line, and Arc remain as
+// constructors and exact payload arithmetic. A segment describes motion over
+// a *local* time interval [0, Duration()]. Positions are exact closed forms
+// — no spatial discretisation — so the durations of the paper's algorithms
+// match their closed-form analysis to float64 round-off, which the
+// phase-structure lemmas of Section 4 rely on.
 package segment
 
 import (
@@ -14,32 +17,11 @@ import (
 	"repro/internal/geom"
 )
 
-// Segment is a single exactly-parameterised piece of motion.
-type Segment interface {
-	// Duration returns the (local) time needed to traverse the segment.
-	// It is non-negative and finite.
-	Duration() float64
-	// Position returns the position at local time t. Arguments outside
-	// [0, Duration] are clamped.
-	Position(t float64) geom.Vec
-	// Start returns Position(0).
-	Start() geom.Vec
-	// End returns Position(Duration()).
-	End() geom.Vec
-	// MaxSpeed returns an upper bound on the instantaneous speed anywhere
-	// on the segment. The contact detector uses it to advance safely.
-	MaxSpeed() float64
-	// PathLength returns the arc length of the segment.
-	PathLength() float64
-}
-
 // Line is straight-line motion from From to To at constant Speed.
 type Line struct {
 	From, To geom.Vec
 	Speed    float64 // must be > 0 unless From == To
 }
-
-var _ Segment = Line{}
 
 // NewLine returns a Line moving between the two points at the given speed.
 // It panics if speed is not positive while the endpoints differ, since that
@@ -55,7 +37,7 @@ func NewLine(from, to geom.Vec, speed float64) Line {
 // UnitLine returns a Line at unit speed, the reference robot's speed.
 func UnitLine(from, to geom.Vec) Line { return NewLine(from, to, 1) }
 
-// Duration implements Segment.
+// Duration returns the time needed to traverse the segment.
 func (l Line) Duration() float64 {
 	if l.From == l.To {
 		return 0
@@ -63,7 +45,6 @@ func (l Line) Duration() float64 {
 	return l.From.Dist(l.To) / l.Speed
 }
 
-// Position implements Segment.
 func (l Line) Position(t float64) geom.Vec {
 	d := l.Duration()
 	if d == 0 {
@@ -78,13 +59,10 @@ func (l Line) Position(t float64) geom.Vec {
 	return l.From.Lerp(l.To, t/d)
 }
 
-// Start implements Segment.
 func (l Line) Start() geom.Vec { return l.From }
 
-// End implements Segment.
 func (l Line) End() geom.Vec { return l.To }
 
-// MaxSpeed implements Segment.
 func (l Line) MaxSpeed() float64 {
 	if l.From == l.To {
 		return 0
@@ -92,7 +70,6 @@ func (l Line) MaxSpeed() float64 {
 	return l.Speed
 }
 
-// PathLength implements Segment.
 func (l Line) PathLength() float64 { return l.From.Dist(l.To) }
 
 // Wait is zero motion: the robot remains at At for Time units.
@@ -100,8 +77,6 @@ type Wait struct {
 	At   geom.Vec
 	Time float64 // must be >= 0
 }
-
-var _ Segment = Wait{}
 
 // NewWait returns a Wait of the given non-negative duration. It panics on a
 // negative duration (programming error).
@@ -112,22 +87,17 @@ func NewWait(at geom.Vec, duration float64) Wait {
 	return Wait{At: at, Time: duration}
 }
 
-// Duration implements Segment.
+// Duration returns the time needed to traverse the segment.
 func (w Wait) Duration() float64 { return w.Time }
 
-// Position implements Segment.
 func (w Wait) Position(float64) geom.Vec { return w.At }
 
-// Start implements Segment.
 func (w Wait) Start() geom.Vec { return w.At }
 
-// End implements Segment.
 func (w Wait) End() geom.Vec { return w.At }
 
-// MaxSpeed implements Segment.
 func (w Wait) MaxSpeed() float64 { return 0 }
 
-// PathLength implements Segment.
 func (w Wait) PathLength() float64 { return 0 }
 
 // Arc is motion along a circular arc at constant Speed. The position at
@@ -140,8 +110,6 @@ type Arc struct {
 	Sweep      float64 // signed; positive is CCW
 	Speed      float64 // must be > 0 unless the arc is degenerate
 }
-
-var _ Segment = Arc{}
 
 // NewArc returns an Arc. It panics if radius is negative, or if speed is not
 // positive while the arc has positive length (programming errors).
@@ -162,7 +130,7 @@ func FullCircle(center geom.Vec, radius, startAngle float64) Arc {
 	return NewArc(center, radius, startAngle, 2*math.Pi, 1)
 }
 
-// Duration implements Segment.
+// Duration returns the time needed to traverse the segment.
 func (a Arc) Duration() float64 {
 	return a.PathLength() / a.speedOr1()
 }
@@ -198,18 +166,14 @@ func (a Arc) AngularVelocity() float64 {
 	return a.Sweep / d
 }
 
-// Position implements Segment.
 func (a Arc) Position(t float64) geom.Vec {
 	return a.Center.Add(geom.Polar(a.Radius, a.AngleAt(t)))
 }
 
-// Start implements Segment.
 func (a Arc) Start() geom.Vec { return a.Position(0) }
 
-// End implements Segment.
 func (a Arc) End() geom.Vec { return a.Position(a.Duration()) }
 
-// MaxSpeed implements Segment.
 func (a Arc) MaxSpeed() float64 {
 	if a.PathLength() == 0 {
 		return 0
@@ -217,5 +181,4 @@ func (a Arc) MaxSpeed() float64 {
 	return a.Speed
 }
 
-// PathLength implements Segment.
 func (a Arc) PathLength() float64 { return a.Radius * math.Abs(a.Sweep) }

@@ -151,7 +151,8 @@ func TestArcStaysOnCircle(t *testing.T) {
 
 func TestTransformedIdentity(t *testing.T) {
 	inner := UnitLine(geom.V(0, 0), geom.V(1, 1))
-	tr := NewTransformed(inner, geom.IdentityAffine, 1)
+	innerSeg := inner.Seg()
+	tr := innerSeg.Transformed(geom.IdentityAffine, 1)
 	if got, want := tr.Duration(), inner.Duration(); math.Abs(got-want) > 1e-12 {
 		t.Errorf("Duration = %v, want %v", got, want)
 	}
@@ -172,7 +173,8 @@ func TestTransformedFrameSemantics(t *testing.T) {
 	)
 	inner := UnitLine(geom.Zero, geom.V(delta, 0)) // local: distance δ, time δ
 	m := geom.Affine{M: geom.FrameMatrix(v*tau, phi, +1)}
-	tr := NewTransformed(inner, m, tau)
+	innerSeg := inner.Seg()
+	tr := innerSeg.Transformed(m, tau)
 
 	if got, want := tr.Duration(), tau*delta; math.Abs(got-want) > 1e-12 {
 		t.Errorf("global duration = %v, want τδ = %v", got, want)
@@ -193,24 +195,38 @@ func TestTransformedChirality(t *testing.T) {
 	// χ = −1 mirrors the trajectory about the x-axis.
 	inner := UnitLine(geom.Zero, geom.V(1, 1))
 	m := geom.Affine{M: geom.FrameMatrix(1, 0, -1)}
-	tr := NewTransformed(inner, m, 1)
+	innerSeg := inner.Seg()
+	tr := innerSeg.Transformed(m, 1)
 	if got := tr.End(); !got.ApproxEqual(geom.V(1, -1), 1e-12) {
 		t.Errorf("End = %v, want (1,-1)", got)
 	}
 }
 
-func TestNewTransformedPanics(t *testing.T) {
+func TestTransformedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic for non-positive time scale")
 		}
 	}()
-	NewTransformed(Wait{}, geom.IdentityAffine, 0)
+	w := Wait{}.Seg()
+	w.Transformed(geom.IdentityAffine, 0)
+}
+
+func TestTransformedTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for a second frame transform")
+		}
+	}()
+	w := Wait{At: geom.V(1, 1), Time: 1}.Seg()
+	s := w.Transformed(geom.IdentityAffine, 1)
+	s.Transformed(geom.IdentityAffine, 1)
 }
 
 func TestArcAtBareArc(t *testing.T) {
 	a := NewArc(geom.V(1, 2), 3, 0.5, 1.5, 2)
-	g, ok := ArcAt(a)
+	aSeg := a.Seg()
+	g, ok := ArcAt(&aSeg)
 	if !ok {
 		t.Fatal("ArcAt failed on bare arc")
 	}
@@ -238,8 +254,9 @@ func TestArcAtTransformed(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			tr := NewTransformed(inner, c.m, c.tau)
-			g, ok := ArcAt(tr)
+			innerSeg := inner.Seg()
+			tr := innerSeg.Transformed(c.m, c.tau)
+			g, ok := ArcAt(&tr)
 			if !ok {
 				t.Fatal("ArcAt failed on similarity-transformed arc")
 			}
@@ -258,16 +275,19 @@ func TestArcAtTransformed(t *testing.T) {
 }
 
 func TestArcAtRejectsNonArc(t *testing.T) {
-	if _, ok := ArcAt(UnitLine(geom.Zero, geom.V(1, 0))); ok {
+	lineSeg := UnitLine(geom.Zero, geom.V(1, 0)).Seg()
+	if _, ok := ArcAt(&lineSeg); ok {
 		t.Error("ArcAt accepted a line")
 	}
-	tr := NewTransformed(UnitLine(geom.Zero, geom.V(1, 0)), geom.IdentityAffine, 1)
-	if _, ok := ArcAt(tr); ok {
+	tr := lineSeg.Transformed(geom.IdentityAffine, 1)
+	if _, ok := ArcAt(&tr); ok {
 		t.Error("ArcAt accepted a transformed line")
 	}
 	// Non-similarity map over an arc must be rejected.
 	shear := geom.Affine{M: geom.Mat{A: 1, B: 1, D: 1}}
-	if _, ok := ArcAt(NewTransformed(NewArc(geom.Zero, 1, 0, 1, 1), shear, 1)); ok {
+	arcSeg := NewArc(geom.Zero, 1, 0, 1, 1).Seg()
+	sheared := arcSeg.Transformed(shear, 1)
+	if _, ok := ArcAt(&sheared); ok {
 		t.Error("ArcAt accepted a sheared arc")
 	}
 }
@@ -276,7 +296,8 @@ func TestTransformedMaxSpeedBound(t *testing.T) {
 	// The declared MaxSpeed must bound the sampled numerical speed.
 	inner := NewArc(geom.V(1, 1), 2, 0, 3, 1.5)
 	m := geom.Affine{M: geom.FrameMatrix(0.8, 2.1, -1), T: geom.V(5, 5)}
-	tr := NewTransformed(inner, m, 1.7)
+	innerSeg := inner.Seg()
+	tr := innerSeg.Transformed(m, 1.7)
 	bound := tr.MaxSpeed()
 	const h = 1e-7
 	for i := 1; i < 50; i++ {

@@ -9,32 +9,33 @@ import (
 
 func TestPrefixWait(t *testing.T) {
 	w := NewWait(geom.V(2, 3), 8)
-	p := Prefix(w, 3)
-	if got, ok := p.(Wait); !ok || got.Time != 3 || got.At != geom.V(2, 3) {
+	p := Prefix(w.Seg(), 3)
+	if got, ok := p.AsWait(); !ok || got.Time != 3 || got.At != geom.V(2, 3) {
 		t.Errorf("Prefix(Wait, 3) = %#v", p)
 	}
-	if got := Prefix(w, 20); got != Segment(w) {
+	if got := Prefix(w.Seg(), 20); got != w.Seg() {
 		t.Error("over-long wait prefix should return the original")
 	}
 }
 
 func TestPrefixLineExactGeometry(t *testing.T) {
 	l := NewLine(geom.V(1, 1), geom.V(5, 4), 2) // length 5, duration 2.5
-	p := Prefix(l, 1.0)
+	p := Prefix(l.Seg(), 1.0)
 	if got, want := p.Duration(), 1.0; math.Abs(got-want) > 1e-12 {
 		t.Errorf("duration = %v, want %v", got, want)
 	}
 	if got, want := p.End(), l.Position(1.0); !got.ApproxEqual(want, 1e-12) {
 		t.Errorf("end = %v, want %v", got, want)
 	}
-	if got := p.(Line).Speed; got != 2 {
-		t.Errorf("speed = %v, want 2", got)
+	if got, _ := p.AsLine(); got.Speed != 2 {
+		t.Errorf("speed = %v, want 2", got.Speed)
 	}
 }
 
 func TestPrefixArcPreservesHandedness(t *testing.T) {
 	cw := NewArc(geom.Zero, 2, 1.0, -3.0, 1.5)
-	p := Prefix(cw, cw.Duration()/3).(Arc)
+	pre := Prefix(cw.Seg(), cw.Duration()/3)
+	p, _ := pre.AsArc()
 	if p.Sweep >= 0 {
 		t.Errorf("clockwise prefix sweep = %v, want negative", p.Sweep)
 	}
@@ -49,7 +50,7 @@ func TestPrefixArcPreservesHandedness(t *testing.T) {
 func TestPrefixZeroAndNegative(t *testing.T) {
 	l := UnitLine(geom.Zero, geom.V(1, 0))
 	for _, d := range []float64{0, -5} {
-		p := Prefix(l, d)
+		p := Prefix(l.Seg(), d)
 		if p.Duration() != 0 {
 			t.Errorf("Prefix(%v) duration = %v, want 0", d, p.Duration())
 		}
@@ -69,7 +70,8 @@ func TestWaitEndpoints(t *testing.T) {
 func TestTransformedPathLength(t *testing.T) {
 	// A similarity with scale 0.5 halves the length exactly.
 	m := geom.Affine{M: geom.FrameMatrix(0.5, 1.1, +1)}
-	tr := NewTransformed(UnitLine(geom.Zero, geom.V(4, 0)), m, 2)
+	lineSeg := UnitLine(geom.Zero, geom.V(4, 0)).Seg()
+	tr := lineSeg.Transformed(m, 2)
 	if got := tr.PathLength(); math.Abs(got-2) > 1e-9 {
 		t.Errorf("PathLength = %v, want 2", got)
 	}

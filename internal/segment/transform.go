@@ -1,107 +1,24 @@
 package segment
 
 import (
-	"fmt"
-
 	"repro/internal/geom"
 )
 
-// Transformed wraps an inner segment with an affine space map and a time
-// dilation. It models the reference-frame shift of the paper: a robot with
-// attributes (v, τ, φ, χ) executing a local-frame segment S produces the
-// global-frame motion
+// This file recovers exact circular geometry from transformed segments. A
+// Seg models the reference-frame shift of the paper: a robot with attributes
+// (v, τ, φ, χ) executing a local-frame segment S produces the global-frame
+// motion
 //
-//	t ↦ Map(S(t / TimeScale))
+//	t ↦ Map(S(t / τ))
 //
-// with TimeScale = τ and Map = x ↦ (vτ)·Rot(φ)·Diag(1,χ)·x + origin.
-type Transformed struct {
-	Inner     Segment
-	Map       geom.Affine
-	TimeScale float64 // τ: one inner time unit lasts TimeScale outer units
+// with Map = x ↦ (vτ)·Rot(φ)·Diag(1,χ)·x + origin. Under such a similarity
+// map the image of a circular arc is again a circular arc, which the contact
+// detector exploits through ArcAt.
 
-	opNorm float64 // cached ‖Map.M‖₂
-}
-
-var _ Segment = (*Transformed)(nil)
-
-// NewTransformed wraps inner with the given map and time scale. It panics on
-// a non-positive time scale (programming error).
-func NewTransformed(inner Segment, m geom.Affine, timeScale float64) *Transformed {
-	if timeScale <= 0 {
-		panic(fmt.Sprintf("segment: NewTransformed with non-positive time scale %v", timeScale))
-	}
-	return &Transformed{
-		Inner:     inner,
-		Map:       m,
-		TimeScale: timeScale,
-		opNorm:    m.M.OperatorNorm(),
-	}
-}
-
-// Duration implements Segment.
-func (s *Transformed) Duration() float64 { return s.Inner.Duration() * s.TimeScale }
-
-// Position implements Segment.
-func (s *Transformed) Position(t float64) geom.Vec {
-	return s.Map.Apply(s.Inner.Position(t / s.TimeScale))
-}
-
-// Start implements Segment.
-func (s *Transformed) Start() geom.Vec { return s.Map.Apply(s.Inner.Start()) }
-
-// End implements Segment.
-func (s *Transformed) End() geom.Vec { return s.Map.Apply(s.Inner.End()) }
-
-// MaxSpeed implements Segment. The inner speed bound is stretched by at most
-// the operator norm of the linear part and divided by the time dilation.
-func (s *Transformed) MaxSpeed() float64 {
-	return s.Inner.MaxSpeed() * s.opNorm / s.TimeScale
-}
-
-// PathLength implements Segment. For similarity maps (the only maps produced
-// by reference frames) the exact length is the inner length times the scale;
-// for general affine maps this is an upper bound.
-func (s *Transformed) PathLength() float64 {
-	return s.Inner.PathLength() * s.opNorm
-}
-
-// UnwrapArc returns the inner Arc and the frame data if the transformed
-// segment wraps an Arc under a similarity map (uniform scale, possibly with
-// reflection). The contact detector uses this to apply the exact arc-point
-// closed form to frame-transformed circles. ok is false otherwise.
-func (s *Transformed) UnwrapArc() (arc Arc, ok bool) {
-	inner, isArc := s.Inner.(Arc)
-	if !isArc {
-		return Arc{}, false
-	}
-	m := s.Map.M
-	// Similarity test: M columns orthogonal with equal norms.
-	c1 := geom.V(m.A, m.C)
-	c2 := geom.V(m.B, m.D)
-	n1, n2 := c1.Norm(), c2.Norm()
-	const eps = 1e-12
-	scale := (n1 + n2) / 2
-	if scale == 0 {
-		return Arc{}, false
-	}
-	if diff := n1 - n2; diff > eps*scale || diff < -eps*scale {
-		return Arc{}, false
-	}
-	if dot := c1.Dot(c2); dot > eps*scale*scale || dot < -eps*scale*scale {
-		return Arc{}, false
-	}
-	// Under x ↦ M x + b with M = s·Rot(α)·Diag(1, ±1), the circle
-	// C + ρ·e^{iθ} maps to (M C + b) + sρ·e^{i(±θ+α)}; in particular the
-	// image is again a circular arc with radius s·ρ, traversed at angular
-	// velocity ±ω/τ. Rather than extracting α explicitly we report the
-	// geometric data the detector needs via ArcAt below; here we only
-	// confirm arc-ness.
-	return inner, true
-}
-
-// ArcGeometry describes the exact circular motion of a transformed arc in
-// outer coordinates: position(t) = Center + Radius·e^{i·(StartAngle + Omega·(t−0))}
-// for outer-local time t in [0, Duration].
+// ArcGeometry describes the exact circular motion of a (possibly
+// transformed) arc in outer coordinates:
+// position(t) = Center + Radius·e^{i·(StartAngle + Omega·t)} for outer-local
+// time t in [0, Duration].
 type ArcGeometry struct {
 	Center     geom.Vec
 	Radius     float64
@@ -111,47 +28,79 @@ type ArcGeometry struct {
 }
 
 // ArcAt returns the outer-frame circular geometry of the segment if it is an
-// arc under a similarity map (or a bare Arc). ok is false otherwise.
-func ArcAt(s Segment) (ArcGeometry, bool) {
-	switch seg := s.(type) {
-	case Arc:
-		return ArcGeometry{
-			Center:     seg.Center,
-			Radius:     seg.Radius,
-			StartAngle: seg.StartAngle,
-			Omega:      seg.AngularVelocity(),
-			Duration:   seg.Duration(),
-		}, true
-	case *Transformed:
-		inner, ok := seg.UnwrapArc()
-		if !ok {
-			return ArcGeometry{}, false
-		}
-		m := seg.Map.M
-		center := seg.Map.Apply(inner.Center)
-		scale := geom.V(m.A, m.C).Norm()
-		radius := inner.Radius * scale
-		dur := seg.Duration()
-		if radius == 0 || dur == 0 {
-			return ArcGeometry{Center: center, Radius: radius, StartAngle: 0, Omega: 0, Duration: dur}, true
-		}
-		// Recover start angle and handedness from exact endpoint images.
-		start := seg.Position(0).Sub(center)
-		omegaInner := inner.AngularVelocity()
-		handedness := 1.0
-		if m.Det() < 0 {
-			handedness = -1
-		}
-		return ArcGeometry{
-			Center:     center,
-			Radius:     radius,
-			StartAngle: start.Angle(),
-			Omega:      handedness * omegaInner / seg.TimeScale,
-			Duration:   dur,
-		}, true
-	default:
+// arc whose frame map (if any) is a similarity (uniform scale, possibly with
+// reflection). ok is false otherwise — in particular for arcs that carry
+// both a speed modulation and a frame transform, which the detector treats
+// conservatively (matching the former doubly-wrapped representation, which
+// the one-level arc unwrapping never recognised).
+func ArcAt(s *Seg) (ArcGeometry, bool) {
+	return ArcAtDur(s, s.Duration())
+}
+
+// ArcAtDur is ArcAt with the segment's duration supplied by the caller
+// (dur must equal s.Duration()); the walk hot path has already computed it.
+func ArcAtDur(s *Seg, dur float64) (ArcGeometry, bool) {
+	if s.kind != KindArc {
 		return ArcGeometry{}, false
 	}
+	if s.framed && s.mod != 0 {
+		return ArcGeometry{}, false
+	}
+	arc := s.arc()
+	if !s.framed && s.mod == 0 {
+		return ArcGeometry{
+			Center:     arc.Center,
+			Radius:     arc.Radius,
+			StartAngle: arc.StartAngle,
+			Omega:      arc.AngularVelocity(),
+			Duration:   dur,
+		}, true
+	}
+	// One transform present: the frame map, or a pure time dilation (which
+	// acts as the identity map).
+	m, ts := s.m, s.tau
+	if !s.framed {
+		m, ts = geom.IdentityAffine, s.mod
+	}
+	// Similarity test: columns of the linear part orthogonal with equal
+	// norms.
+	c1 := geom.V(m.M.A, m.M.C)
+	c2 := geom.V(m.M.B, m.M.D)
+	n1, n2 := c1.Norm(), c2.Norm()
+	const eps = 1e-12
+	avg := (n1 + n2) / 2
+	if avg == 0 {
+		return ArcGeometry{}, false
+	}
+	if diff := n1 - n2; diff > eps*avg || diff < -eps*avg {
+		return ArcGeometry{}, false
+	}
+	if dot := c1.Dot(c2); dot > eps*avg*avg || dot < -eps*avg*avg {
+		return ArcGeometry{}, false
+	}
+	// Under x ↦ M x + b with M = s·Rot(α)·Diag(1, ±1), the circle
+	// C + ρ·e^{iθ} maps to (M C + b) + sρ·e^{i(±θ+α)}: again a circular arc
+	// with radius s·ρ, traversed at angular velocity ±ω/τ.
+	center := m.Apply(arc.Center)
+	scale := c1.Norm()
+	radius := arc.Radius * scale
+	if radius == 0 || dur == 0 {
+		return ArcGeometry{Center: center, Radius: radius, StartAngle: 0, Omega: 0, Duration: dur}, true
+	}
+	// Recover start angle and handedness from exact endpoint images.
+	start := s.Position(0).Sub(center)
+	omegaInner := arc.AngularVelocity()
+	handedness := 1.0
+	if m.M.Det() < 0 {
+		handedness = -1
+	}
+	return ArcGeometry{
+		Center:     center,
+		Radius:     radius,
+		StartAngle: start.Angle(),
+		Omega:      handedness * omegaInner / ts,
+		Duration:   dur,
+	}, true
 }
 
 // Position returns the point on the arc at local time t (clamped).

@@ -7,6 +7,12 @@
 // resolved by internal/motion — in closed form where possible, otherwise by
 // conservative safe advancement. Durations are exact, so measured meeting
 // times are directly comparable with the paper's closed-form analysis.
+//
+// Both walks are allocation-free per segment: Search drives the program
+// generator directly with a callback, and the two-stream FirstMeeting merge
+// pulls value-typed segments through trajectory.Cursor — an explicit
+// resumable cursor over each stream — instead of iter.Pull coroutines. The
+// per-segment motions live in caller-owned motion.Mover storage.
 package sim
 
 import (
@@ -17,6 +23,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/motion"
+	"repro/internal/segment"
 	"repro/internal/trajectory"
 )
 
@@ -67,13 +74,8 @@ func (r Result) String() string {
 	return fmt.Sprintf("contact at t=%.6g (gap %.3g, %d intervals)", r.Time, r.Gap, r.Intervals)
 }
 
-// FirstMeeting simulates two global-frame trajectories from time 0 and
-// returns the first time their distance is at most r. Sources may be finite
-// (the mover halts at its final position) or infinite.
-func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error) {
-	if opt.Horizon <= 0 || r <= 0 {
-		return Result{}, ErrBadOptions
-	}
+// detectOptions resolves the motion-detection options for radius r.
+func detectOptions(opt Options, r float64) motion.Options {
 	mopt := motion.Options{Slack: opt.Slack, MaxIters: opt.MaxIters}
 	if mopt.Slack <= 0 {
 		mopt.Slack = 1e-9 * r
@@ -81,57 +83,142 @@ func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error
 	if mopt.MaxIters <= 0 {
 		mopt.MaxIters = motion.DefaultOptions(r).MaxIters
 	}
+	return mopt
+}
 
-	wa := trajectory.NewWalker(a)
-	defer wa.Close()
-	wb := trajectory.NewWalker(b)
-	defer wb.Close()
+// stream is one robot's half of the merged two-source walk: a resumable
+// cursor over its segment stream, the current segment placed on the
+// absolute time axis, the odometer, and the reusable motion storage.
+type stream struct {
+	cur      trajectory.Cursor
+	seg      segment.Seg
+	segDur   float64 // seg.Duration(), computed once per segment
+	segLen   float64 // seg.PathLength(), computed once per segment
+	start    float64 // absolute start time of seg
+	has      bool
+	finalPos geom.Vec
+	odo      odometer
+	mov      motion.Mover
+	end      float64 // absolute end of the current motion (+Inf when halted)
+}
 
-	var (
-		res        Result
-		odoA, odoB odometer
-		scA, scB   motion.Scratch
-	)
-	var lastA, lastB motion.Motion
+// init readies the stream and pulls its first segment.
+func (s *stream) init(src trajectory.Source) {
+	s.cur.Init(src)
+	s.next()
+}
+
+// next advances to the following segment, accumulating absolute start times
+// exactly like the former per-stream walker (a running sum of durations).
+func (s *stream) next() {
+	if s.has {
+		s.start += s.segDur
+	}
+	seg, ok := s.cur.Next()
+	if !ok {
+		// The stream is exhausted: only now is the final position needed
+		// (End() costs a sincos for arcs, so it is not computed per
+		// segment). s.seg still holds the last segment.
+		if s.has {
+			s.finalPos = s.seg.End()
+		}
+		s.has = false
+		return
+	}
+	s.seg = seg
+	s.segDur, s.segLen = s.seg.DurationAndLength()
+	s.has = true
+}
+
+// motionAt positions the stream's motion at absolute time t: it advances
+// past segments ending at or before t (zero-duration segments never
+// surface), refreshes the odometer, and fills the Mover. Past the end of a
+// finite source the mover is static forever (end = +Inf).
+func (s *stream) motionAt(t float64) {
+	advanced := false
+	for s.has && s.start+s.segDur <= t {
+		s.next()
+		advanced = true
+	}
+	if !s.has {
+		s.odo.halt()
+		if advanced || s.end != math.Inf(1) {
+			s.mov.SetStatic(s.finalPos)
+			s.end = math.Inf(1)
+		}
+		return
+	}
+	s.odo.observe(s.start, s.segDur, s.segLen)
+	if advanced || s.end == 0 {
+		s.mov.Set(&s.seg, s.start, s.segDur)
+		s.end = s.start + s.segDur
+	}
+}
+
+// close releases the stream's cursor.
+func (s *stream) close() { s.cur.Close() }
+
+// FirstMeeting simulates two global-frame trajectories from time 0 and
+// returns the first time their distance is at most r. Sources may be finite
+// (the mover halts at its final position) or infinite.
+//
+// The two streams are walked by one merged loop over value-typed segments:
+// each iteration holds one segment per robot, resolves first contact on the
+// overlap interval, and advances whichever stream ends first. No segment is
+// boxed and no pull coroutine runs; see trajectory.Cursor for how the push
+// generators are suspended and resumed.
+func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error) {
+	if opt.Horizon <= 0 || r <= 0 {
+		return Result{}, ErrBadOptions
+	}
+	mopt := detectOptions(opt, r)
+
+	// One allocation holds both streams: the cursors' cached collector
+	// closures capture pointers into it, so it escapes as a single object.
+	var w struct{ sa, sb stream }
+	sa, sb := &w.sa, &w.sb
+	sa.init(a)
+	defer sa.close()
+	sb.init(b)
+	defer sb.close()
+
+	var res Result
 	t := 0.0
 	for t < opt.Horizon {
-		ma, endA := motionAt(wa, t, &odoA, &scA)
-		mb, endB := motionAt(wb, t, &odoB, &scB)
-		lastA, lastB = ma, mb
+		sa.motionAt(t)
+		sb.motionAt(t)
 
-		intervalEnd := math.Min(opt.Horizon, math.Min(endA, endB))
-		if math.IsInf(endA, 1) && math.IsInf(endB, 1) {
+		intervalEnd := math.Min(opt.Horizon, math.Min(sa.end, sb.end))
+		if math.IsInf(sa.end, 1) && math.IsInf(sb.end, 1) {
 			// Both halted: the gap is constant forever.
 			res.Intervals++
-			gap := ma.At(t).Dist(mb.At(t))
-			res.DistanceA, res.DistanceB = odoA.at(t), odoB.at(t)
+			gap := sa.mov.At(t).Dist(sb.mov.At(t))
+			res.DistanceA, res.DistanceB = sa.odo.at(t), sb.odo.at(t)
 			if gap <= r {
-				return met(res, ma, mb, t), nil
+				return met(res, &sa.mov, &sb.mov, t), nil
 			}
 			res.Gap = gap
 			return res, nil
 		}
 
 		res.Intervals++
-		hit, found, err := motion.FirstContact(ma, mb, r, t, intervalEnd, mopt)
+		hit, found, err := motion.Contact(&sa.mov, &sb.mov, r, t, intervalEnd, mopt)
 		if err != nil {
 			return Result{}, fmt.Errorf("interval [%v, %v]: %w", t, intervalEnd, err)
 		}
 		if found {
-			res.DistanceA, res.DistanceB = odoA.at(hit), odoB.at(hit)
-			return met(res, ma, mb, hit), nil
+			res.DistanceA, res.DistanceB = sa.odo.at(hit), sb.odo.at(hit)
+			return met(res, &sa.mov, &sb.mov, hit), nil
 		}
 		t = intervalEnd
 	}
-	if lastA != nil && lastB != nil {
-		res.Gap = lastA.At(opt.Horizon).Dist(lastB.At(opt.Horizon))
-		res.DistanceA, res.DistanceB = odoA.at(opt.Horizon), odoB.at(opt.Horizon)
-	}
+	res.Gap = sa.mov.At(opt.Horizon).Dist(sb.mov.At(opt.Horizon))
+	res.DistanceA, res.DistanceB = sa.odo.at(opt.Horizon), sb.odo.at(opt.Horizon)
 	return res, nil
 }
 
 // met fills in the contact fields of a result.
-func met(res Result, ma, mb motion.Motion, t float64) Result {
+func met(res Result, ma, mb *motion.Mover, t float64) Result {
 	res.Met = true
 	res.Time = t
 	res.WhereA = ma.At(t)
@@ -183,101 +270,104 @@ func (o *odometer) at(t float64) float64 {
 	return o.traveled + frac*o.segLen
 }
 
-// motionAt returns the exact motion of the walker at absolute time t and the
-// absolute end time of the current segment, updating the robot's odometer.
-// Past the end of a finite source the mover is static forever (end = +Inf).
-// The returned motion lives in sc and is valid until the next call with the
-// same scratch.
-func motionAt(w *trajectory.Walker, t float64, odo *odometer, sc *motion.Scratch) (motion.Motion, float64) {
-	seg, start, ok := w.SegmentAt(t)
-	if !ok {
-		odo.halt()
-		return sc.Static(w.FinalPosition()), math.Inf(1)
-	}
-	odo.observe(start, seg.Duration(), seg.PathLength())
-	return sc.FromSegment(seg, start), start + seg.Duration()
-}
-
 // Search simulates the search problem of Section 2: the reference robot runs
 // program from the origin; a static target sits at target; the robot sees it
 // at distance r. It returns the first detection time.
 //
 // The results are bit-identical to
 // FirstMeeting(program, trajectory.Stationary(target), r, opt), but the
-// program is walked with a plain callback loop instead of an iter.Pull
-// cursor and the per-segment motion lives in a reused scratch, so the search
-// hot path performs no per-segment allocations.
+// program is walked with a plain callback loop — no cursor at all — and the
+// per-segment motion lives in a reused Mover, so the search hot path
+// performs no per-segment allocations.
 func Search(program trajectory.Source, target geom.Vec, r float64, opt Options) (Result, error) {
 	if opt.Horizon <= 0 || r <= 0 {
 		return Result{}, ErrBadOptions
 	}
-	mopt := motion.Options{Slack: opt.Slack, MaxIters: opt.MaxIters}
-	if mopt.Slack <= 0 {
-		mopt.Slack = 1e-9 * r
-	}
-	if mopt.MaxIters <= 0 {
-		mopt.MaxIters = motion.DefaultOptions(r).MaxIters
-	}
-	tgt := motion.Static(target)
+	mopt := detectOptions(opt, r)
+	var tgt motion.Mover
+	tgt.SetStatic(target)
 
-	var (
-		res      Result
-		odo      odometer
-		sc       motion.Scratch
-		finalPos geom.Vec
-		retErr   error
-	)
-	t, start := 0.0, 0.0
-	finished := false // contact found, error, or horizon reached mid-stream
+	// The range-over-func loop body compiles to a closure over the walk
+	// state; keeping the state in one struct makes that a single capture
+	// (one allocation) instead of one heap box per local.
+	w := searchWalk{tgt: tgt, target: target, r: r, horizon: opt.Horizon, mopt: mopt}
 	for seg := range program {
-		dur := seg.Duration()
-		segStart := start
-		start = segStart + dur
-		finalPos = seg.End()
-		if dur == 0 {
-			continue // a walker never surfaces zero-duration segments
-		}
-		odo.observe(segStart, dur, seg.PathLength())
-		ma := sc.FromSegment(seg, segStart)
-		intervalEnd := math.Min(opt.Horizon, segStart+dur)
-		res.Intervals++
-		hit, found, err := motion.FirstContact(ma, tgt, r, t, intervalEnd, mopt)
-		if err != nil {
-			retErr = fmt.Errorf("interval [%v, %v]: %w", t, intervalEnd, err)
-			finished = true
-			break
-		}
-		if found {
-			res.DistanceA, res.DistanceB = odo.at(hit), 0
-			res = met(res, ma, tgt, hit)
-			finished = true
-			break
-		}
-		t = intervalEnd
-		if t >= opt.Horizon {
-			res.Gap = ma.At(opt.Horizon).Dist(target)
-			res.DistanceA, res.DistanceB = odo.at(opt.Horizon), 0
-			finished = true
+		if !w.step(&seg) {
 			break
 		}
 	}
-	if retErr != nil {
-		return Result{}, retErr
+	if w.retErr != nil {
+		return Result{}, w.retErr
 	}
-	if !finished {
+	if !w.finished {
 		// The program was exhausted before the horizon: the robot parks at
 		// its final position and the gap is constant forever.
-		odo.halt()
-		res.Intervals++
-		ma := sc.Static(finalPos)
-		gap := ma.At(t).Dist(target)
-		res.DistanceA, res.DistanceB = odo.at(t), 0
-		if gap <= r {
-			return met(res, ma, tgt, t), nil
+		var finalPos geom.Vec
+		if w.haveSeg {
+			finalPos = w.lastSeg.End()
 		}
-		res.Gap = gap
+		w.odo.halt()
+		w.res.Intervals++
+		w.mov.SetStatic(finalPos)
+		gap := w.mov.At(w.t).Dist(target)
+		w.res.DistanceA, w.res.DistanceB = w.odo.at(w.t), 0
+		if gap <= r {
+			return met(w.res, &w.mov, &w.tgt, w.t), nil
+		}
+		w.res.Gap = gap
 	}
-	return res, nil
+	return w.res, nil
+}
+
+// searchWalk is the mutable state of one Search walk.
+type searchWalk struct {
+	res        Result
+	odo        odometer
+	mov, tgt   motion.Mover
+	lastSeg    segment.Seg // last non-degenerate program segment seen
+	haveSeg    bool
+	retErr     error
+	t, start   float64
+	finished   bool // contact found, error, or horizon reached mid-stream
+	target     geom.Vec
+	r, horizon float64
+	mopt       motion.Options
+}
+
+// step processes one program segment and reports whether the walk wants
+// more segments.
+func (w *searchWalk) step(seg *segment.Seg) bool {
+	dur, plen := seg.DurationAndLength()
+	segStart := w.start
+	w.start = segStart + dur
+	w.lastSeg, w.haveSeg = *seg, true // End() is computed only on exhaustion
+	if dur == 0 {
+		return true // a walker never surfaces zero-duration segments
+	}
+	w.odo.observe(segStart, dur, plen)
+	w.mov.Set(seg, segStart, dur)
+	intervalEnd := math.Min(w.horizon, segStart+dur)
+	w.res.Intervals++
+	hit, found, err := motion.Contact(&w.mov, &w.tgt, w.r, w.t, intervalEnd, w.mopt)
+	if err != nil {
+		w.retErr = fmt.Errorf("interval [%v, %v]: %w", w.t, intervalEnd, err)
+		w.finished = true
+		return false
+	}
+	if found {
+		w.res.DistanceA, w.res.DistanceB = w.odo.at(hit), 0
+		w.res = met(w.res, &w.mov, &w.tgt, hit)
+		w.finished = true
+		return false
+	}
+	w.t = intervalEnd
+	if w.t >= w.horizon {
+		w.res.Gap = w.mov.At(w.horizon).Dist(w.target)
+		w.res.DistanceA, w.res.DistanceB = w.odo.at(w.horizon), 0
+		w.finished = true
+		return false
+	}
+	return true
 }
 
 // Instance describes one rendezvous instance: the attributes of the second

@@ -1,0 +1,206 @@
+package trajectory
+
+import (
+	"sync"
+
+	"repro/internal/segment"
+)
+
+// Cursor buffering parameters. The ring starts small so the common case —
+// a simulation that meets within a few dozen segments — costs one buffer
+// fill and no goroutines; it doubles on each refill so restart-skip work
+// stays amortised O(1) per segment; past streamThreshold the cursor stops
+// restarting and spawns a batching producer instead, so a to-horizon walk
+// over hundreds of thousands of segments is generated exactly once more and
+// streamed with two channel operations per batch.
+const (
+	cursorInitialBuf    = 64
+	cursorStreamBatch   = 256
+	cursorStreamAtLeast = 8192 // consumed count at which refills switch to streaming
+)
+
+// bufPool recycles the initial-size cursor buffers so the hot path performs
+// no per-simulation buffer allocation in steady state.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]segment.Seg, cursorInitialBuf)
+		return &b
+	},
+}
+
+// Cursor is an explicit resumable pull cursor over a push Source: Next
+// returns the source's segments one at a time, in order, without the
+// goroutine-backed machinery of iter.Pull.
+//
+// A Source is a callback generator and cannot be suspended, so the cursor
+// buffers a window of upcoming segments. While the window covers the walk
+// (the common case — most simulations resolve within the first few dozen
+// segments) a single generator invocation fills it and nothing else runs.
+// When the window is exhausted the cursor re-invokes the source, skipping
+// the already-consumed prefix and filling a doubled window — geometric
+// growth keeps the total re-generation work linear in the number of
+// segments consumed. Once the consumed prefix is long enough that
+// restarting would dominate (streamThreshold), the cursor switches to a
+// single background producer goroutine that streams the remainder in
+// batches, bounding both memory and re-generation for unbounded walks.
+//
+// The restart strategy requires the Source to be pure: re-invoking it must
+// yield the same segments (see the Source contract). Close releases the
+// pooled buffer and stops the producer, if any; it is safe to call at most
+// once, and using the cursor after Close is invalid.
+type Cursor struct {
+	src      Source
+	buf      []segment.Seg // current window (pooled at initial size, or a stream batch)
+	pooled   *[]segment.Seg
+	head     int // next unread index in buf[:fill]
+	fill     int
+	consumed int                    // segments handed out across all windows
+	srcEnded bool                   // the source ended inside the current window
+	skip     int                    // refill scratch: segments still to skip in this re-invocation
+	collect  func(segment.Seg) bool // cached refill collector (one closure per cursor)
+
+	streaming bool
+	batches   chan []segment.Seg
+	stop      chan struct{}
+}
+
+// Init readies a zero Cursor over src. Embedding a Cursor in a caller's
+// walk state and calling Init avoids the separate heap allocation of
+// NewCursor.
+func (c *Cursor) Init(src Source) { c.src = src }
+
+// NewCursor returns a cursor over src.
+func NewCursor(src Source) *Cursor {
+	c := &Cursor{}
+	c.Init(src)
+	return c
+}
+
+// Next returns the next segment of the source. ok is false once a finite
+// source is exhausted.
+func (c *Cursor) Next() (seg segment.Seg, ok bool) {
+	for {
+		if c.head < c.fill {
+			seg = c.buf[c.head]
+			c.head++
+			c.consumed++
+			return seg, true
+		}
+		if c.srcEnded {
+			return segment.Seg{}, false
+		}
+		if c.streaming {
+			batch, open := <-c.batches
+			if !open {
+				c.srcEnded = true
+				return segment.Seg{}, false
+			}
+			c.releaseBuf()
+			c.buf, c.head, c.fill = batch, 0, len(batch)
+			continue
+		}
+		if c.consumed >= cursorStreamAtLeast {
+			c.startStream()
+			continue
+		}
+		c.refill()
+	}
+}
+
+// Consumed returns the number of segments handed out so far.
+func (c *Cursor) Consumed() int { return c.consumed }
+
+// refill re-invokes the source, skips the consumed prefix, and fills a
+// (possibly doubled) window.
+func (c *Cursor) refill() {
+	switch {
+	case c.buf == nil:
+		c.pooled = bufPool.Get().(*[]segment.Seg)
+		c.buf = *c.pooled
+	case c.consumed == c.fill:
+		// First refill after the initial window: from here on the window
+		// doubles, so hand the pooled buffer back and grow privately.
+		c.releaseBuf()
+		c.buf = make([]segment.Seg, 2*cursorInitialBuf)
+	default:
+		c.buf = make([]segment.Seg, 2*len(c.buf))
+	}
+	c.head, c.fill = 0, 0
+	c.skip = 0
+	if c.collect == nil {
+		c.collect = func(s segment.Seg) bool {
+			if c.skip < c.consumed {
+				c.skip++
+				return true
+			}
+			c.buf[c.fill] = s
+			c.fill++
+			return c.fill < len(c.buf)
+		}
+	}
+	c.src(c.collect)
+	if c.fill < len(c.buf) {
+		c.srcEnded = true
+	}
+}
+
+// startStream hands generation to a producer goroutine that skips the
+// consumed prefix once and then streams batches until stopped.
+func (c *Cursor) startStream() {
+	c.streaming = true
+	c.batches = make(chan []segment.Seg, 2)
+	c.stop = make(chan struct{})
+	go produce(c.src, c.consumed, c.batches, c.stop)
+}
+
+// produce generates src once, skipping the first skip segments, and sends
+// the rest in batches. It returns — unwinding the generator — when the
+// consumer signals stop, and closes the batch channel when the source ends.
+func produce(src Source, skip int, batches chan<- []segment.Seg, stop <-chan struct{}) {
+	defer close(batches)
+	n := 0
+	batch := make([]segment.Seg, 0, cursorStreamBatch)
+	src(func(s segment.Seg) bool {
+		if n < skip {
+			n++
+			return true
+		}
+		batch = append(batch, s)
+		if len(batch) == cursorStreamBatch {
+			select {
+			case batches <- batch:
+			case <-stop:
+				return false
+			}
+			batch = make([]segment.Seg, 0, cursorStreamBatch)
+		}
+		return true
+	})
+	if len(batch) > 0 {
+		select {
+		case batches <- batch:
+		case <-stop:
+		}
+	}
+}
+
+// releaseBuf returns a pooled window to the pool.
+func (c *Cursor) releaseBuf() {
+	if c.pooled != nil {
+		bufPool.Put(c.pooled)
+		c.pooled = nil
+	}
+	c.buf = nil
+}
+
+// Close releases the cursor's buffer and stops its producer goroutine, if
+// one was started.
+func (c *Cursor) Close() {
+	if c.streaming {
+		close(c.stop)
+		c.streaming = false
+	}
+	c.releaseBuf()
+	c.head, c.fill = 0, 0
+	c.srcEnded = true
+}

@@ -17,11 +17,11 @@ import (
 // crash fault. A non-positive t pins the robot at its starting position (it
 // crashed before moving).
 func CutAt(src Source, t float64) Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		var elapsed float64
 		for s := range src {
 			if t <= 0 {
-				yield(segment.Wait{At: s.Start()})
+				yield(segment.Wait{At: s.Start()}.Seg())
 				return
 			}
 			d := s.Duration()
@@ -43,12 +43,12 @@ func DelayStart(src Source, delay float64) Source {
 	if delay <= 0 {
 		return src
 	}
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		first := true
 		for s := range src {
 			if first {
 				first = false
-				if !yield(segment.NewWait(s.Start(), delay)) {
+				if !yield(segment.NewWait(s.Start(), delay).Seg()) {
 					return
 				}
 			}
@@ -58,7 +58,7 @@ func DelayStart(src Source, delay float64) Source {
 		}
 		if first {
 			// Empty inner source: still emit the wait at the origin.
-			yield(segment.NewWait(geom.Zero, delay))
+			yield(segment.NewWait(geom.Zero, delay).Seg())
 		}
 	}
 }
@@ -72,7 +72,7 @@ func FreezeDuring(src Source, from, to float64) Source {
 	if to <= from {
 		return src
 	}
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		var elapsed float64
 		frozen := false
 		for s := range src {
@@ -87,10 +87,10 @@ func FreezeDuring(src Source, from, to float64) Source {
 					}
 				}
 				at := s.Position(from - elapsed)
-				if !yield(segment.NewWait(at, to-from)) {
+				if !yield(segment.NewWait(at, to-from).Seg()) {
 					return
 				}
-				if !yield(suffix(s, from-elapsed)) {
+				if !yield(segment.Suffix(s, from-elapsed)) {
 					return
 				}
 				frozen = true
@@ -102,41 +102,5 @@ func FreezeDuring(src Source, from, to float64) Source {
 			}
 			elapsed += d
 		}
-	}
-}
-
-// suffix returns the part of seg after local time t (exact for all our
-// primitives, mirroring segment.Prefix).
-func suffix(s segment.Segment, t float64) segment.Segment {
-	total := s.Duration()
-	if t <= 0 {
-		return s
-	}
-	if t >= total {
-		return segment.Wait{At: s.End()}
-	}
-	switch seg := s.(type) {
-	case segment.Wait:
-		return segment.Wait{At: seg.At, Time: total - t}
-	case segment.Line:
-		return segment.Line{From: seg.Position(t), To: seg.To, Speed: seg.Speed}
-	case segment.Arc:
-		frac := t / total
-		return segment.Arc{
-			Center:     seg.Center,
-			Radius:     seg.Radius,
-			StartAngle: seg.StartAngle + seg.Sweep*frac,
-			Sweep:      seg.Sweep * (1 - frac),
-			Speed:      seg.Speed,
-		}
-	case *segment.Transformed:
-		return segment.NewTransformed(suffix(seg.Inner, t/seg.TimeScale), seg.Map, seg.TimeScale)
-	default:
-		end := s.End()
-		start := s.Position(t)
-		if start == end {
-			return segment.Wait{At: end, Time: total - t}
-		}
-		return segment.Line{From: start, To: end, Speed: start.Dist(end) / (total - t)}
 	}
 }

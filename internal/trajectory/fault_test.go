@@ -9,9 +9,9 @@ import (
 )
 
 func TestCutAtExactDuration(t *testing.T) {
-	src := FromSlice([]segment.Segment{
-		line(0, 0, 2, 0),                       // [0, 2]
-		segment.FullCircle(geom.V(1, 0), 1, 0), // [2, 2+2π]
+	src := FromSlice([]segment.Seg{
+		line(0, 0, 2, 0), // [0, 2]
+		segment.FullCircle(geom.V(1, 0), 1, 0).Seg(), // [2, 2+2π]
 		line(2, 0, 5, 0),
 	})
 	for _, cut := range []float64{0.5, 2, 3.7, 2 + 2*math.Pi, 7} {
@@ -22,7 +22,7 @@ func TestCutAtExactDuration(t *testing.T) {
 		}
 	}
 	// A crash before moving pins the robot at its start, not at the origin.
-	earlyCrash := CutAt(FromSlice([]segment.Segment{line(5, 5, 6, 5)}), -1)
+	earlyCrash := CutAt(FromSlice([]segment.Seg{line(5, 5, 6, 5)}), -1)
 	p := NewPath(earlyCrash)
 	defer p.Close()
 	if got := p.Position(100); got != geom.V(5, 5) {
@@ -32,9 +32,9 @@ func TestCutAtExactDuration(t *testing.T) {
 
 func TestCutAtPositionsMatch(t *testing.T) {
 	src := func() Source {
-		return FromSlice([]segment.Segment{
+		return FromSlice([]segment.Seg{
 			line(0, 0, 2, 0),
-			segment.FullCircle(geom.V(1, 0), 1, 0),
+			segment.FullCircle(geom.V(1, 0), 1, 0).Seg(),
 		})
 	}
 	cut := 3.3
@@ -59,7 +59,7 @@ func TestCutAtPositionsMatch(t *testing.T) {
 func TestCutAtInfinite(t *testing.T) {
 	src := Repeat(func(i int) Source {
 		from := geom.V(float64(i-1), 0)
-		return FromSlice([]segment.Segment{segment.UnitLine(from, from.Add(geom.V(1, 0)))})
+		return FromSlice([]segment.Seg{segment.UnitLine(from, from.Add(geom.V(1, 0))).Seg()})
 	})
 	if d := Duration(CutAt(src, 10.5)); math.Abs(d-10.5) > 1e-12 {
 		t.Errorf("cut infinite source duration = %v, want 10.5", d)
@@ -67,7 +67,7 @@ func TestCutAtInfinite(t *testing.T) {
 }
 
 func TestDelayStart(t *testing.T) {
-	src := func() Source { return FromSlice([]segment.Segment{line(1, 1, 2, 1)}) }
+	src := func() Source { return FromSlice([]segment.Seg{line(1, 1, 2, 1)}) }
 	delayed := NewPath(DelayStart(src(), 3))
 	defer delayed.Close()
 	if got := delayed.Position(2); got != geom.V(1, 1) {
@@ -88,7 +88,7 @@ func TestDelayStart(t *testing.T) {
 
 func TestFreezeDuring(t *testing.T) {
 	src := func() Source {
-		return FromSlice([]segment.Segment{line(0, 0, 4, 0)}) // [0, 4]
+		return FromSlice([]segment.Seg{line(0, 0, 4, 0)}) // [0, 4]
 	}
 	frozen := NewPath(FreezeDuring(src(), 1, 3))
 	defer frozen.Close()
@@ -121,7 +121,7 @@ func TestFreezeDuring(t *testing.T) {
 
 func TestFreezeDuringArc(t *testing.T) {
 	src := func() Source {
-		return FromSlice([]segment.Segment{segment.FullCircle(geom.Zero, 1, 0)})
+		return FromSlice([]segment.Seg{segment.FullCircle(geom.Zero, 1, 0).Seg()})
 	}
 	freezeAt := math.Pi / 2 // quarter way round, at (0, 1)
 	frozen := NewPath(FreezeDuring(src(), freezeAt, freezeAt+5))
@@ -142,7 +142,7 @@ func TestFreezeDuringArc(t *testing.T) {
 
 func TestPrefixSegments(t *testing.T) {
 	// Line prefix.
-	l := segment.NewLine(geom.V(0, 0), geom.V(4, 0), 2) // duration 2
+	l := segment.NewLine(geom.V(0, 0), geom.V(4, 0), 2).Seg() // duration 2
 	half := segment.Prefix(l, 1)
 	if got := half.End(); !got.ApproxEqual(geom.V(2, 0), 1e-12) {
 		t.Errorf("line prefix end = %v", got)
@@ -151,26 +151,26 @@ func TestPrefixSegments(t *testing.T) {
 		t.Errorf("line prefix duration = %v", half.Duration())
 	}
 	// Arc prefix.
-	a := segment.FullCircle(geom.Zero, 1, 0)
+	a := segment.FullCircle(geom.Zero, 1, 0).Seg()
 	quarter := segment.Prefix(a, math.Pi/2)
 	if got := quarter.End(); !got.ApproxEqual(geom.V(0, 1), 1e-9) {
 		t.Errorf("arc prefix end = %v, want (0,1)", got)
 	}
 	// Wait prefix.
-	w := segment.NewWait(geom.V(1, 1), 10)
-	if got := segment.Prefix(w, 3).Duration(); math.Abs(got-3) > 1e-12 {
-		t.Errorf("wait prefix duration = %v", got)
+	w := segment.NewWait(geom.V(1, 1), 10).Seg()
+	if got := segment.Prefix(w, 3); math.Abs(got.Duration()-3) > 1e-12 {
+		t.Errorf("wait prefix duration = %v", got.Duration())
 	}
 	// Clamping.
-	if got := segment.Prefix(l, 99); got != segment.Segment(l) {
+	if got := segment.Prefix(l, 99); got != l {
 		t.Error("over-long prefix should return the original segment")
 	}
-	if got := segment.Prefix(l, -1).Duration(); got != 0 {
-		t.Errorf("negative prefix duration = %v", got)
+	if got := segment.Prefix(l, -1); got.Duration() != 0 {
+		t.Errorf("negative prefix duration = %v", got.Duration())
 	}
 	// Transformed prefix.
 	m := geom.Affine{M: geom.FrameMatrix(0.5, 1.0, +1), T: geom.V(1, 1)}
-	tr := segment.NewTransformed(a, m, 2)
+	tr := a.Transformed(m, 2)
 	pre := segment.Prefix(tr, tr.Duration()/4)
 	if !pre.End().ApproxEqual(tr.Position(tr.Duration()/4), 1e-9) {
 		t.Errorf("transformed prefix end = %v, want %v", pre.End(), tr.Position(tr.Duration()/4))

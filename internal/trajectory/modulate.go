@@ -3,7 +3,6 @@ package trajectory
 import (
 	"fmt"
 
-	"repro/internal/geom"
 	"repro/internal/segment"
 )
 
@@ -14,7 +13,9 @@ import (
 //
 // This models the "variable speed" robots named in the paper's future work
 // (Section 5): the robot still executes the same geometric program, but its
-// instantaneous speed fluctuates. All factors must be positive.
+// instantaneous speed fluctuates. All factors must be positive. The dilation
+// folds into each Seg value (segment.Seg.Dilated), so modulation allocates
+// nothing per segment.
 func ModulateSpeed(src Source, factors []float64) Source {
 	if len(factors) == 0 {
 		return src
@@ -24,12 +25,12 @@ func ModulateSpeed(src Source, factors []float64) Source {
 			panic(fmt.Sprintf("trajectory: ModulateSpeed with non-positive factor %v", f))
 		}
 	}
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		i := 0
 		for s := range src {
 			f := factors[i%len(factors)]
 			i++
-			if !yield(segment.NewTransformed(s, geom.IdentityAffine, 1/f)) {
+			if !yield(s.Dilated(1 / f)) {
 				return
 			}
 		}

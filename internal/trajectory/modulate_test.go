@@ -10,7 +10,7 @@ import (
 
 func TestModulateSpeedDurations(t *testing.T) {
 	src := func() Source {
-		return FromSlice([]segment.Segment{
+		return FromSlice([]segment.Seg{
 			line(0, 0, 1, 0), // duration 1
 			line(1, 0, 3, 0), // duration 2
 			line(3, 0, 4, 0), // duration 1
@@ -38,7 +38,7 @@ func TestModulateSpeedDurations(t *testing.T) {
 }
 
 func TestModulateSpeedNoFactors(t *testing.T) {
-	src := FromSlice([]segment.Segment{line(0, 0, 1, 0)})
+	src := FromSlice([]segment.Seg{line(0, 0, 1, 0)})
 	if d := Duration(ModulateSpeed(src, nil)); math.Abs(d-1) > 1e-12 {
 		t.Errorf("no-factor modulation changed duration to %v", d)
 	}
@@ -54,7 +54,7 @@ func TestModulateSpeedPanicsOnBadFactor(t *testing.T) {
 }
 
 func TestModulateSpeedMaxSpeed(t *testing.T) {
-	src := FromSlice([]segment.Segment{line(0, 0, 1, 0)})
+	src := FromSlice([]segment.Seg{line(0, 0, 1, 0)})
 	segs := Collect(ModulateSpeed(src, []float64{2.5}))
 	if got := segs[0].MaxSpeed(); math.Abs(got-2.5) > 1e-12 {
 		t.Errorf("modulated MaxSpeed = %v, want 2.5", got)

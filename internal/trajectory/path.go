@@ -1,25 +1,22 @@
 package trajectory
 
 import (
-	"iter"
-
 	"repro/internal/geom"
 	"repro/internal/segment"
 )
 
 // timed is a segment placed on the absolute time axis.
 type timed struct {
-	seg        segment.Segment
+	seg        segment.Seg
 	start, end float64
 }
 
 // Path consumes a Source lazily and answers position queries at absolute
 // times. Segments are cached as they are pulled, so queries may be made in
 // any order; the cache grows only as far forward as the largest time
-// queried. Call Close when done to release the underlying iterator.
+// queried. Call Close when done to release the underlying cursor.
 type Path struct {
-	next      func() (segment.Segment, bool)
-	stop      func()
+	cur       Cursor
 	segs      []timed
 	total     float64 // end time of last cached segment
 	exhausted bool
@@ -28,16 +25,17 @@ type Path struct {
 // NewPath starts consuming src. The path begins at time 0 at the first
 // segment's start point.
 func NewPath(src Source) *Path {
-	next, stop := iter.Pull(src)
-	return &Path{next: next, stop: stop}
+	p := &Path{}
+	p.cur.Init(src)
+	return p
 }
 
-// Close releases the underlying iterator. The Path remains usable for
+// Close releases the underlying cursor. The Path remains usable for
 // queries within the already-cached prefix.
 func (p *Path) Close() {
 	if !p.exhausted {
 		p.exhausted = true
-		p.stop()
+		p.cur.Close()
 	}
 }
 
@@ -45,10 +43,10 @@ func (p *Path) Close() {
 // source is exhausted.
 func (p *Path) extendTo(t float64) {
 	for !p.exhausted && p.total <= t {
-		seg, ok := p.next()
+		seg, ok := p.cur.Next()
 		if !ok {
 			p.exhausted = true
-			p.stop()
+			p.cur.Close()
 			return
 		}
 		d := seg.Duration()
@@ -93,13 +91,13 @@ func (p *Path) Position(t float64) geom.Vec {
 // SegmentAt returns the segment containing absolute time t together with
 // its absolute start time. ok is false when t is past the end of a finite
 // source (or the source is empty).
-func (p *Path) SegmentAt(t float64) (seg segment.Segment, start float64, ok bool) {
+func (p *Path) SegmentAt(t float64) (seg segment.Seg, start float64, ok bool) {
 	if t < 0 {
 		t = 0
 	}
 	p.extendTo(t)
 	if len(p.segs) == 0 || t >= p.total {
-		return nil, 0, false
+		return segment.Seg{}, 0, false
 	}
 	ts := p.segs[p.find(t)]
 	return ts.seg, ts.start, true

@@ -2,9 +2,14 @@
 //
 // The paper's algorithms (Section 2: Algorithms 1-4; Section 4: Algorithms
 // 5-7) are unbounded loops, so trajectories are represented lazily as
-// iterator sequences of segments (Source). A Path consumes a Source on
-// demand and answers position-at-time queries; consumed segments are cached
-// so queries may move backwards in time as well.
+// callback-push generators of value-typed segments (Source). Pushing a
+// segment.Seg through a callback moves a struct — no per-segment interface
+// boxing, no heap allocation — which is what lets the simulator walk
+// millions of segments allocation-free. Pull-style consumption (the
+// simulator's merged two-stream walk, Walker, Path) is built on Cursor, an
+// explicit resumable cursor that buffers a window of upcoming segments and
+// re-invokes or streams the generator as needed — no iter.Pull, no
+// per-segment coroutine switches.
 package trajectory
 
 import (
@@ -14,14 +19,19 @@ import (
 	"repro/internal/segment"
 )
 
-// Source is a lazy, possibly infinite stream of motion segments. Each
-// segment is assumed to start where the previous one ended (continuity);
-// CheckContinuity verifies this for tests.
-type Source = iter.Seq[segment.Segment]
+// Source is a lazy, possibly infinite stream of motion segments: a callback
+// generator func(yield func(segment.Seg) bool) that pushes segments until
+// told to stop. Each segment is assumed to start where the previous one
+// ended (continuity); CheckContinuity verifies this for tests.
+//
+// Sources must be pure: re-invoking one yields the same segments. Cursor
+// relies on this to resume after a suspension by re-running the generator
+// and skipping the consumed prefix.
+type Source = iter.Seq[segment.Seg]
 
 // FromSlice returns a finite Source yielding the given segments in order.
-func FromSlice(segs []segment.Segment) Source {
-	return func(yield func(segment.Segment) bool) {
+func FromSlice(segs []segment.Seg) Source {
+	return func(yield func(segment.Seg) bool) {
 		for _, s := range segs {
 			if !yield(s) {
 				return
@@ -32,7 +42,7 @@ func FromSlice(segs []segment.Segment) Source {
 
 // Concat returns a Source yielding all segments of each source in turn.
 func Concat(sources ...Source) Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		for _, src := range sources {
 			for s := range src {
 				if !yield(s) {
@@ -47,7 +57,7 @@ func Concat(sources ...Source) Source {
 // the "repeat with increasing round number" control structure of
 // Algorithms 4 and 7.
 func Repeat(gen func(round int) Source) Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		for round := 1; ; round++ {
 			for s := range gen(round) {
 				if !yield(s) {
@@ -60,14 +70,17 @@ func Repeat(gen func(round int) Source) Source {
 
 // Transform returns a Source applying the affine map m and time dilation
 // timeScale to every segment of src. This is how a reference frame is
-// applied to a whole trajectory.
+// applied to a whole trajectory. The transform is folded into each yielded
+// Seg value rather than wrapping it, so frame application allocates
+// nothing.
 func Transform(src Source, m geom.Affine, timeScale float64) Source {
-	return func(yield func(segment.Segment) bool) {
-		for s := range src {
-			if !yield(segment.NewTransformed(s, m, timeScale)) {
-				return
-			}
-		}
+	return func(yield func(segment.Seg) bool) {
+		// Direct nested callback, not `for s := range src`: the range sugar
+		// compiles to a fresh loop-body closure plus boxed loop state per
+		// invocation, which this (one closure per invocation) avoids.
+		src(func(s segment.Seg) bool {
+			return yield(s.Transformed(m, timeScale))
+		})
 	}
 }
 
@@ -75,7 +88,7 @@ func Transform(src Source, m geom.Affine, timeScale float64) Source {
 // maxDuration; the final segment is yielded whole (not cut), so the total
 // duration may overshoot by at most one segment.
 func Truncate(src Source, maxDuration float64) Source {
-	return func(yield func(segment.Segment) bool) {
+	return func(yield func(segment.Seg) bool) {
 		var elapsed float64
 		for s := range src {
 			if elapsed >= maxDuration {
@@ -95,7 +108,7 @@ func Truncate(src Source, maxDuration float64) Source {
 // past the end of a finite source, so one long wait suffices; we use a zero
 // duration wait and rely on clamping.
 func Stationary(p geom.Vec) Source {
-	return FromSlice([]segment.Segment{segment.Wait{At: p}})
+	return FromSlice([]segment.Seg{segment.Wait{At: p}.Seg()})
 }
 
 // Duration returns the total duration of a finite source.
@@ -117,8 +130,8 @@ func PathLength(src Source) float64 {
 }
 
 // Collect materialises a finite source into a slice.
-func Collect(src Source) []segment.Segment {
-	var segs []segment.Segment
+func Collect(src Source) []segment.Seg {
+	var segs []segment.Seg
 	for s := range src {
 		segs = append(segs, s)
 	}

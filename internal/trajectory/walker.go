@@ -1,21 +1,19 @@
 package trajectory
 
 import (
-	"iter"
-
 	"repro/internal/geom"
 	"repro/internal/segment"
 )
 
-// Walker is a forward-only cursor over a Source holding O(1) state: only the
-// current segment is retained. The simulator uses it to walk trajectories
-// with millions of segments without caching them all (contrast Path, which
+// Walker is a forward-only cursor over a Source holding a bounded window of
+// state: only the current segment (plus the Cursor's read-ahead buffer) is
+// retained. The simulator's helpers use it to walk trajectories with
+// millions of segments without caching them all (contrast Path, which
 // supports random access at the cost of remembering everything).
 type Walker struct {
-	next      func() (segment.Segment, bool)
-	stop      func()
-	cur       segment.Segment
-	start     float64 // absolute start time of cur
+	cur       Cursor
+	seg       segment.Seg
+	start     float64 // absolute start time of seg
 	has       bool
 	exhausted bool
 	finalPos  geom.Vec
@@ -24,8 +22,8 @@ type Walker struct {
 
 // NewWalker starts walking src from time 0.
 func NewWalker(src Source) *Walker {
-	next, stop := iter.Pull(src)
-	w := &Walker{next: next, stop: stop}
+	w := &Walker{}
+	w.cur.Init(src)
 	w.advance()
 	return w
 }
@@ -38,17 +36,17 @@ func (w *Walker) advance() {
 	}
 	var prevEnd float64
 	if w.has {
-		prevEnd = w.start + w.cur.Duration()
-		w.finalPos = w.cur.End()
+		prevEnd = w.start + w.seg.Duration()
+		w.finalPos = w.seg.End()
 	}
-	seg, ok := w.next()
+	seg, ok := w.cur.Next()
 	if !ok {
 		w.exhausted = true
 		w.has = false
-		w.stop()
+		w.cur.Close()
 		return
 	}
-	w.cur = seg
+	w.seg = seg
 	w.start = prevEnd
 	w.has = true
 	w.count++
@@ -60,14 +58,14 @@ func (w *Walker) advance() {
 // the current segment (the past has been discarded). Zero-duration segments
 // are skipped. ok is false once a finite source is exhausted and t is past
 // its end.
-func (w *Walker) SegmentAt(t float64) (seg segment.Segment, start float64, ok bool) {
-	for w.has && w.start+w.cur.Duration() <= t {
+func (w *Walker) SegmentAt(t float64) (seg segment.Seg, start float64, ok bool) {
+	for w.has && w.start+w.seg.Duration() <= t {
 		w.advance()
 	}
 	if !w.has {
-		return nil, 0, false
+		return segment.Seg{}, 0, false
 	}
-	return w.cur, w.start, true
+	return w.seg, w.start, true
 }
 
 // FinalPosition returns the last known position of an exhausted source: the
@@ -77,11 +75,11 @@ func (w *Walker) FinalPosition() geom.Vec { return w.finalPos }
 // Consumed returns the number of segments pulled so far.
 func (w *Walker) Consumed() int { return w.count }
 
-// Close releases the underlying iterator.
+// Close releases the underlying cursor.
 func (w *Walker) Close() {
 	if !w.exhausted {
 		w.exhausted = true
 		w.has = false
-		w.stop()
+		w.cur.Close()
 	}
 }

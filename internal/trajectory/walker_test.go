@@ -8,10 +8,10 @@ import (
 )
 
 func TestWalkerBasic(t *testing.T) {
-	w := NewWalker(FromSlice([]segment.Segment{
-		line(0, 0, 2, 0),                 // [0,2]
-		segment.NewWait(geom.V(2, 0), 1), // [2,3]
-		line(2, 0, 2, 2),                 // [3,5]
+	w := NewWalker(FromSlice([]segment.Seg{
+		line(0, 0, 2, 0),                       // [0,2]
+		segment.NewWait(geom.V(2, 0), 1).Seg(), // [2,3]
+		line(2, 0, 2, 2),                       // [3,5]
 	}))
 	defer w.Close()
 
@@ -28,8 +28,8 @@ func TestWalkerBasic(t *testing.T) {
 	if !ok || start != 2 {
 		t.Fatalf("SegmentAt(2.5): ok=%v start=%v", ok, start)
 	}
-	if _, isWait := seg.(segment.Wait); !isWait {
-		t.Errorf("SegmentAt(2.5) = %T, want Wait", seg)
+	if seg.Kind() != segment.KindWait {
+		t.Errorf("SegmentAt(2.5) kind = %v, want wait", seg.Kind())
 	}
 
 	// Re-query within the same segment is allowed.
@@ -50,9 +50,9 @@ func TestWalkerBasic(t *testing.T) {
 }
 
 func TestWalkerSkipsZeroDurationSegments(t *testing.T) {
-	w := NewWalker(FromSlice([]segment.Segment{
+	w := NewWalker(FromSlice([]segment.Seg{
 		line(0, 0, 1, 0),
-		segment.Wait{At: geom.V(1, 0)}, // zero duration
+		segment.Wait{At: geom.V(1, 0)}.Seg(), // zero duration
 		line(1, 0, 2, 0),
 	}))
 	defer w.Close()
@@ -63,7 +63,7 @@ func TestWalkerSkipsZeroDurationSegments(t *testing.T) {
 	if start != 1 {
 		t.Errorf("start = %v, want 1", start)
 	}
-	if l, isLine := seg.(segment.Line); !isLine || l.To != geom.V(2, 0) {
+	if l, isLine := seg.AsLine(); !isLine || l.To != geom.V(2, 0) {
 		t.Errorf("segment = %#v, want second line", seg)
 	}
 }
@@ -73,7 +73,7 @@ func TestWalkerO1Memory(t *testing.T) {
 	// time, and hold no history.
 	w := NewWalker(Repeat(func(i int) Source {
 		from := geom.V(float64(i-1), 0)
-		return FromSlice([]segment.Segment{segment.UnitLine(from, from.Add(geom.V(1, 0)))})
+		return FromSlice([]segment.Seg{segment.UnitLine(from, from.Add(geom.V(1, 0))).Seg()})
 	}))
 	defer w.Close()
 	if _, _, ok := w.SegmentAt(1000.5); !ok {
