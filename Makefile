@@ -11,7 +11,21 @@ FUZZTIME ?= 10s
 # time; without it benchmarks run the default 1s per benchmark.
 BENCHTIME := $(if $(QUICK),100x,1s)
 
-.PHONY: ci vet build test race gate bench bench-ci benchcheck benchcheck-history fuzz shardcheck
+.PHONY: ci vet build test race gate bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck
+
+# loadcheck proves the rvserved serving path under real load: it builds the
+# daemon, boots it on an ephemeral port, drives LOADCLIENTS concurrent
+# clients for LOADDURATION (a synchronized cold burst, then a mixed
+# point-query/sweep steady state), and asserts the singleflight dedup
+# counter moved, repeats hit the cache, /metrics stays coherent
+# (hits+misses == lookups), and the SIGTERM flush leaves a loadable
+# warm-start file. Reports client-observed p50/p99 latency and hit ratio.
+LOADCLIENTS ?= 8
+LOADDURATION ?= 5s
+loadcheck:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
+	$(GO) run ./cmd/loadcheck -server "$$tmp/rvserved" -clients $(LOADCLIENTS) -duration $(LOADDURATION)
 
 ci: vet build race gate
 

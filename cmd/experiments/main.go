@@ -406,12 +406,22 @@ func watchMergeDir(dir string, poll, timeout time.Duration, already []string, ms
 
 // canonPath normalizes a path for the watcher's seen-set, so an explicit
 // -merge file inside the watched directory is recognized however it was
-// spelled.
+// spelled — including through a symlink. Absolutization alone is not enough:
+// "-merge link/shard-0.jsonl" with link -> the watched directory produces an
+// absolute path that differs textually from the globbed one, the seen-set
+// misses, and the same shard file is ingested twice (double-counting the
+// merge's served stats). EvalSymlinks resolves both spellings to one
+// canonical path; a path that cannot be resolved (dangling link, permission)
+// falls back to the absolute form.
 func canonPath(p string) string {
-	if abs, err := filepath.Abs(p); err == nil {
-		return abs
+	abs, err := filepath.Abs(p)
+	if err != nil {
+		return filepath.Clean(p)
 	}
-	return filepath.Clean(p)
+	if resolved, err := filepath.EvalSymlinks(abs); err == nil {
+		return resolved
+	}
+	return abs
 }
 
 // stderrProgress returns a sweep monitor that reports live progress on

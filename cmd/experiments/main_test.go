@@ -232,6 +232,71 @@ func TestWatchMergeDirSkipsAlreadyIngested(t *testing.T) {
 	}
 }
 
+// TestWatchMergeDirSymlinkedMergePath: an explicit -merge file named through
+// a symlinked directory must still be recognized as already ingested when the
+// watcher globs the real directory — a path spelling (symlink, "./", "..")
+// must not defeat the seen-set and double-ingest the shard file.
+func TestWatchMergeDirSymlinkedMergePath(t *testing.T) {
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "records")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(parent, "link")
+	if err := os.Symlink(dir, link); err != nil {
+		t.Skipf("symlinks unavailable: %v", err)
+	}
+	fakeShardFiles(t, dir, 3)
+
+	// The -merge loop ingested shard 0 via the symlinked spelling.
+	pre := filepath.Join(link, "shard-0-of-3.jsonl")
+	ms := experiments.NewMergeSet()
+	if _, err := ms.Add(pre); err != nil {
+		t.Fatal(err)
+	}
+	var ingested []string
+	ingest := func(path string) error {
+		ingested = append(ingested, filepath.Base(path))
+		_, err := ms.Add(path)
+		return err
+	}
+	// The watcher polls the real directory; coverage is complete already, so
+	// it must ingest only the two files -merge did not cover.
+	if err := watchMergeDir(dir, 5*time.Millisecond, 5*time.Second, []string{pre}, ms, ingest); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ingested {
+		if name == "shard-0-of-3.jsonl" {
+			t.Errorf("symlinked -merge path defeated the seen-set: shard 0 ingested twice (%v)", ingested)
+		}
+	}
+	if len(ingested) != 2 || ms.Len() != 3 {
+		t.Errorf("ingested %v (merge set %d files), want exactly the 2 uncovered shards", ingested, ms.Len())
+	}
+
+	// The reverse spelling — watch through the symlink, -merge via the real
+	// path — must dedup identically.
+	ms2 := experiments.NewMergeSet()
+	pre2 := filepath.Join(dir, "shard-1-of-3.jsonl")
+	if _, err := ms2.Add(pre2); err != nil {
+		t.Fatal(err)
+	}
+	ingested = nil
+	ingest2 := func(path string) error {
+		ingested = append(ingested, filepath.Base(path))
+		_, err := ms2.Add(path)
+		return err
+	}
+	if err := watchMergeDir(link, 5*time.Millisecond, 5*time.Second, []string{pre2}, ms2, ingest2); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range ingested {
+		if name == "shard-1-of-3.jsonl" {
+			t.Errorf("real-path -merge defeated the symlinked watch's seen-set (%v)", ingested)
+		}
+	}
+}
+
 // metaFor builds the ShardMeta of stride i of k for the fake suite scope.
 func metaFor(i, k int) experiments.ShardMeta {
 	cfg := experiments.Config{}

@@ -42,7 +42,6 @@ import (
 	"errors"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/sim"
@@ -146,14 +145,24 @@ func instanceKey(in sim.Instance, opt sim.Options) Key {
 // high worker count hitting one hot cell — only the first simulates; the
 // rest wait for its result instead of re-simulating before the Put lands.
 type Cache struct {
-	hits, misses, dedups atomic.Uint64
+	mu sync.Mutex
+	// The counters live under mu, incremented in the same critical section
+	// as the map operation they describe, so a Stats snapshot is coherent:
+	// hits + misses == lookups holds at every instant, not just at rest.
+	// (They used to be independent atomics bumped outside the lock — a
+	// /metrics scrape racing a lookup could observe counters that don't add
+	// up; see TestStatsCoherentUnderLoad.)
+	lookups, hits, misses, dedups uint64
+	cap                           int
+	ll                            *list.List // front = most recently used
+	index                         map[Key]*list.Element
+	flight                        map[Key]*flightCall // in-flight compute-through calls
+	path                          string              // "" = memory only
 
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	index  map[Key]*list.Element
-	flight map[Key]*flightCall // in-flight compute-through calls
-	path   string              // "" = memory only
+	// saveMu serializes Save/SaveAs flushes: a long-running process flushes
+	// periodically and again on shutdown, and overlapping writers to one
+	// path must not interleave their temp-file/rename dances.
+	saveMu sync.Mutex
 }
 
 type entry struct {
@@ -190,16 +199,15 @@ func (c *Cache) Get(k Key) (sim.Result, bool) {
 		return sim.Result{}, false
 	}
 	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lookups++
 	el, ok := c.index[k]
-	if ok {
-		c.ll.MoveToFront(el)
-	}
-	c.mu.Unlock()
 	if !ok {
-		c.misses.Add(1)
+		c.misses++
 		return sim.Result{}, false
 	}
-	c.hits.Add(1)
+	c.hits++
+	c.ll.MoveToFront(el)
 	return el.Value.(*entry).res, true
 }
 
@@ -234,25 +242,28 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Stats is a point-in-time snapshot of the cache counters. Dedups counts
-// compute-through calls that joined an in-flight identical computation
-// instead of simulating (each also counted one miss when it looked up).
+// Stats is a coherent point-in-time snapshot of the cache counters, taken
+// in one critical section: Hits + Misses == Lookups holds in every snapshot,
+// however many lookups are racing the scrape. Dedups counts compute-through
+// calls that joined an in-flight identical computation instead of simulating
+// (each also counted one miss when it looked up).
 type Stats struct {
-	Hits, Misses, Dedups uint64
-	Len, Cap             int
+	Lookups, Hits, Misses, Dedups uint64
+	Len, Cap                      int
 }
 
-// Stats returns the current hit/miss/dedup counters and occupancy. A nil
-// receiver reports zeros.
+// Stats returns the current lookup/hit/miss/dedup counters and occupancy as
+// one coherent snapshot. A nil receiver reports zeros.
 func (c *Cache) Stats() Stats {
 	if c == nil {
 		return Stats{}
 	}
 	c.mu.Lock()
-	n := c.ll.Len()
-	capacity := c.cap
-	c.mu.Unlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Dedups: c.dedups.Load(), Len: n, Cap: capacity}
+	defer c.mu.Unlock()
+	return Stats{
+		Lookups: c.lookups, Hits: c.hits, Misses: c.misses, Dedups: c.dedups,
+		Len: c.ll.Len(), Cap: c.cap,
+	}
 }
 
 // errFlightAborted is the sentinel a follower observes when the leader's
@@ -267,25 +278,27 @@ var errFlightAborted = errors.New("cache: in-flight computation aborted")
 // not shared — errors always propagate from a fresh computation, so every
 // follower recomputes and observes the (deterministic) error itself. A nil
 // receiver computes directly.
+//
+// The lookup — index check, flight check, counter updates — happens in one
+// critical section, so every do call counts exactly one of hit/miss (plus a
+// dedup for followers) and a concurrent Stats snapshot always adds up.
 func (c *Cache) do(k Key, compute func() (sim.Result, error)) (sim.Result, error) {
 	if c == nil {
 		return compute()
 	}
-	if res, ok := c.Get(k); ok {
-		return res, nil
-	}
 	c.mu.Lock()
-	// Re-check under the lock: the computation that made us miss may have
-	// landed its Put (and left the flight map) between Get and here.
+	c.lookups++
 	if el, ok := c.index[k]; ok {
+		c.hits++
 		c.ll.MoveToFront(el)
 		res := el.Value.(*entry).res
 		c.mu.Unlock()
 		return res, nil
 	}
+	c.misses++
 	if call, ok := c.flight[k]; ok {
+		c.dedups++
 		c.mu.Unlock()
-		c.dedups.Add(1)
 		<-call.done
 		if call.err == nil {
 			return call.res, nil

@@ -81,7 +81,8 @@ func (c *Cache) Path() string {
 // Save writes the cache contents to the disk layer, least recently used
 // first so a reload reconstructs the same eviction order. It writes to a
 // temporary file and renames, so a concurrent reader never observes a
-// partial file. Memory-only caches (and nil receivers) are a no-op.
+// partial file, and flushes of one cache are serialized against each other
+// (see SaveAs). Memory-only caches (and nil receivers) are a no-op.
 func (c *Cache) Save() error {
 	if c == nil || c.path == "" {
 		return nil
@@ -95,10 +96,19 @@ func (c *Cache) Save() error {
 // alongside the shard record file (shard-I-of-K.cache.jsonl) so a merge —
 // or any later overlapping sweep — can warm from the union of the fleet's
 // caches via Merge or Open's warm paths. A nil receiver is a no-op.
+//
+// Flushes of one cache are serialized: a long-running process whose periodic
+// flush overlaps its shutdown flush (or two concurrent SaveAs calls to the
+// same path) must not interleave — each write still lands atomically via its
+// own unique temp file, and serializing makes the *last* flush's contents
+// the file's final contents instead of whichever rename happens to run
+// second with an older snapshot.
 func (c *Cache) SaveAs(path string) error {
 	if c == nil {
 		return nil
 	}
+	c.saveMu.Lock()
+	defer c.saveMu.Unlock()
 	c.mu.Lock()
 	entries := make([]diskEntry, 0, c.ll.Len())
 	for el := c.ll.Back(); el != nil; el = el.Prev() {

@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestStatsCoherentUnderLoad pins the coherent-snapshot guarantee a serving
+// process relies on: while many goroutines run compute-through lookups, a
+// concurrent /metrics-style scraper must never observe counters that don't
+// add up — Hits + Misses == Lookups in every snapshot, and at the end every
+// completed lookup is counted exactly once. With the counters as independent
+// atomics bumped outside the lock (the pre-daemon code), a scrape could land
+// between the map operation and its counter update and this test fails under
+// load.
+func TestStatsCoherentUnderLoad(t *testing.T) {
+	c := New(64)
+	const (
+		workers = 8
+		rounds  = 400
+		keys    = 17 // small key space: plenty of hits, misses, and dedups
+	)
+
+	stop := make(chan struct{})
+	var scrapes atomic.Int64
+	var scraperWG sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scraperWG.Add(1)
+		go func() {
+			defer scraperWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := c.Stats()
+				scrapes.Add(1)
+				if st.Hits+st.Misses != st.Lookups {
+					t.Errorf("incoherent snapshot: hits %d + misses %d != lookups %d",
+						st.Hits, st.Misses, st.Lookups)
+					return
+				}
+				if st.Dedups > st.Misses {
+					t.Errorf("snapshot counts more dedups (%d) than misses (%d)", st.Dedups, st.Misses)
+					return
+				}
+			}
+		}()
+	}
+
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := Key{Kind: "search", Program: fmt.Sprint((w + i) % keys)}
+				switch i % 3 {
+				case 0:
+					c.Get(k)
+					issued.Add(1)
+				default:
+					if _, err := c.do(k, func() (sim.Result, error) {
+						return sim.Result{Met: true, Time: float64(i)}, nil
+					}); err != nil {
+						t.Errorf("do: %v", err)
+					}
+					issued.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scraperWG.Wait()
+
+	st := c.Stats()
+	if st.Lookups != uint64(issued.Load()) {
+		t.Errorf("final lookups %d, want one per issued lookup (%d)", st.Lookups, issued.Load())
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Errorf("final counters incoherent: hits %d + misses %d != lookups %d", st.Hits, st.Misses, st.Lookups)
+	}
+	if scrapes.Load() == 0 {
+		t.Error("scraper never ran")
+	}
+}
+
+// TestConcurrentFlushAndPut pins the flush-vs-put discipline of a
+// long-running process: periodic Save flushes racing shutdown flushes and
+// live Puts must serialize, so the file on disk is always one complete,
+// loadable snapshot — and after the last flush, exactly the cache's final
+// contents.
+func TestConcurrentFlushAndPut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serve.cache.jsonl")
+	c, err := Open(path, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 4
+		flushes = 25
+		puts    = 300
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < puts; i++ {
+				c.Put(Key{Kind: "rendezvous", Program: fmt.Sprintf("w%d-%d", w, i)}, sim.Result{Time: float64(i)})
+			}
+		}(w)
+	}
+	// Two flushers to one path: the daemon's periodic flush and a shutdown
+	// flush overlapping.
+	for f := 0; f < 2; f++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < flushes; i++ {
+				if err := c.Save(); err != nil {
+					t.Errorf("concurrent save: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 4096)
+	if err != nil {
+		t.Fatalf("final flush left an unloadable file: %v", err)
+	}
+	if re.Len() != c.Len() {
+		t.Errorf("reloaded %d entries, cache holds %d", re.Len(), c.Len())
+	}
+	if _, ok := re.Get(Key{Kind: "rendezvous", Program: "w0-0"}); !ok {
+		t.Error("reloaded cache is missing an entry every writer put")
+	}
+}

@@ -87,9 +87,11 @@ func RunAllCfg(w io.Writer, markdown bool, cfg Config) error {
 
 // runAll is RunAllCfg over an explicit runner list (tests use subsets).
 func runAll(w io.Writer, markdown bool, cfg Config, runners []Runner) error {
-	pool := sweep.NewPool(cfg.Workers)
-	defer pool.Close()
-	cfg.pool = pool
+	if cfg.Pool == nil {
+		pool := sweep.NewPool(cfg.Workers)
+		defer pool.Close()
+		cfg.Pool = pool
+	}
 
 	type outcome struct {
 		table Table

@@ -44,10 +44,14 @@ type Config struct {
 	// which assign each sweep its deterministic batch name.
 	Store *ShardStore
 
-	// pool is the shared worker pool RunAllCfg installs so that the whole
-	// suite draws from one worker budget; nil means each experiment fans
-	// out on its own goroutines (still capped at Workers per experiment).
-	pool *sweep.Pool
+	// Pool, when non-nil, executes every sweep on a shared worker pool
+	// instead of goroutines owned by the run, so concurrent runs draw from
+	// one process-wide worker budget (Workers is then ignored; the pool's
+	// size is the cap). RunAllCfg installs its own pool for the suite;
+	// cmd/rvserved threads its process-wide pool through here so
+	// concurrent sweep requests share one budget. Results are identical
+	// either way.
+	Pool *sweep.Pool
 	// batch mints the deterministic per-sweep batch names ("E3#0",
 	// "E3#1", ...) that key the Store records. Each runner gets its own
 	// counter, so names are stable however the suite is scheduled.
@@ -69,7 +73,7 @@ func (b *batchCounter) next() string {
 }
 
 func (c Config) sweepOptions() sweep.Options {
-	opt := sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.pool, Monitor: c.Monitor, Shard: c.Shard}
+	opt := sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.Pool, Monitor: c.Monitor, Shard: c.Shard}
 	if c.Store != nil && c.batch != nil {
 		opt.Exchange = c.Store
 		opt.Batch = c.batch.next()

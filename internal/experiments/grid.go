@@ -30,6 +30,47 @@ var gridBase = sim.Instance{
 // parameters appear in the table.
 var gridAxisNames = []string{"v", "tau", "phi", "chi", "d", "r"}
 
+// GridAxisNames returns the instance-parameter axis names a grid sweep (and
+// the serving layer's point queries, which reuse the same mapping) accepts.
+func GridAxisNames() []string {
+	return append([]string{}, gridAxisNames...)
+}
+
+// GridInstance maps named parameter overrides onto the default rendezvous
+// instance: unnamed parameters keep the gridBase working point (v = 1/2,
+// τ = 1, φ = 0, χ = +1, d = (1,0), r = 1/4), named ones are overridden and
+// the result validated. It is the single request→Instance mapping shared by
+// the CLI's -grid sweeps and cmd/rvserved's query endpoints, so both layers
+// agree on defaults and validation.
+func GridInstance(names []string, point []float64) (sim.Instance, error) {
+	return applyGridPoint(names, point)
+}
+
+// GridAlgorithm resolves an algorithm name ("search"/"" for Algorithm 4,
+// "universal" for Algorithm 7) to its cache program identity and trajectory
+// generator.
+func GridAlgorithm(name string) (id string, program func() trajectory.Source, err error) {
+	switch name {
+	case "", "search":
+		return "alg4", algo.CumulativeSearch, nil
+	case "universal":
+		return "alg7", algo.Universal, nil
+	default:
+		return "", nil, fmt.Errorf("experiments: unknown grid algorithm %q (want search or universal)", name)
+	}
+}
+
+// RendezvousHorizon is the default simulation horizon a grid cell (or a
+// served point query) uses for an instance: four times the Theorem bound,
+// falling back to 1e6 when the bound is infinite or degenerate.
+func RendezvousHorizon(in sim.Instance) float64 {
+	horizon := 4 * feasibility.TimeBound(in.Attrs, in.D.Norm(), in.R)
+	if math.IsInf(horizon, 1) || horizon <= 0 {
+		horizon = 1e6
+	}
+	return horizon
+}
+
 // applyGridPoint returns gridBase with the named parameters overridden.
 func applyGridPoint(names []string, point []float64) (sim.Instance, error) {
 	in := gridBase
@@ -58,48 +99,60 @@ func applyGridPoint(names []string, point []float64) (sim.Instance, error) {
 	return in, in.Validate()
 }
 
-// RunGridCfg runs a caller-defined rendezvous parameter sweep — the CLI's
-// -grid flags — and renders one table for the whole grid. Each spec is one
-// sweep.ParseAxis axis over an instance parameter (v, tau, phi, chi, d, r);
-// the grid is their cross product, evaluated under algoName ("search" for
-// Algorithm 4, "universal" for Algorithm 7) through the sweep pool and the
-// config's cache.
+// GridCell is the aggregated outcome of one grid point: how many of its
+// samples met, and the meeting times of those that did (in sample order).
+// The serving layer summarizes Times with analysis.Summarize, exactly like
+// the rendered table.
+type GridCell struct {
+	Point []float64 `json:"point"`
+	Met   int       `json:"met"`
+	Times []float64 `json:"times,omitempty"`
+}
+
+// GridResult is the structured outcome of one SweepGrid call — the single
+// source both RunGridCfg's rendered table and cmd/rvserved's JSON sweep
+// endpoint are built from.
+type GridResult struct {
+	Axes      []string   `json:"axes"`      // axis names in parameter order
+	Algorithm string     `json:"algorithm"` // cache program identity ("alg4"/"alg7")
+	Points    int        `json:"points"`    // grid size (cells)
+	Samples   int        `json:"samples"`   // draws per point (≥ 1)
+	Cells     []GridCell `json:"cells"`
+}
+
+// SweepGrid runs a caller-defined rendezvous parameter sweep — the CLI's
+// -grid flags and the daemon's /v1/sweep requests — through the sweep pool
+// and the config's cache, returning one aggregated cell per grid point.
+// Each spec is one sweep.ParseAxis axis over an instance parameter
+// (v, tau, phi, chi, d, r); the grid is their cross product, evaluated under
+// algoName (see GridAlgorithm).
 //
 // Per grid point, cfg.Samples > 0 draws that many displacement directions
 // uniformly at random (keeping |d|) from the per-job RNG; otherwise the
-// single deterministic instance with d on the +x axis runs. The table
-// reports the met fraction and analysis.Summarize statistics of the meeting
-// times (over the samples of the point; with one sample the statistics
-// collapse onto it).
-func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg Config) error {
+// single deterministic instance with d on the +x axis runs.
+func SweepGrid(specs []string, algoName string, cfg Config) (*GridResult, error) {
 	if len(specs) == 0 {
-		return fmt.Errorf("experiments: no grid axes given")
+		return nil, fmt.Errorf("experiments: no grid axes given")
 	}
 	grid, err := sweep.ParseGrid(specs...)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	names := make([]string, len(grid))
 	for i, ax := range grid {
 		names[i] = ax.Name
 		if len(ax.Values) == 0 {
-			return fmt.Errorf("experiments: axis %q has no values", ax.Name)
+			return nil, fmt.Errorf("experiments: axis %q has no values", ax.Name)
 		}
 		// Surface a bad axis name before running anything.
 		if _, err := applyGridPoint([]string{ax.Name}, []float64{ax.Values[0]}); err != nil {
-			return fmt.Errorf("experiments: axis %q: %w", ax.Name, err)
+			return nil, fmt.Errorf("experiments: axis %q: %w", ax.Name, err)
 		}
 	}
 
-	var programID string
-	var program func() trajectory.Source
-	switch algoName {
-	case "", "search":
-		programID, program = "alg4", algo.CumulativeSearch
-	case "universal":
-		programID, program = "alg7", algo.Universal
-	default:
-		return fmt.Errorf("experiments: unknown grid algorithm %q (want search or universal)", algoName)
+	programID, program, err := GridAlgorithm(algoName)
+	if err != nil {
+		return nil, err
 	}
 
 	samples := cfg.Samples
@@ -115,7 +168,7 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 		Met  bool    `json:"met"`
 		Time float64 `json:"t"`
 	}
-	cells, err := sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (outcome, error) {
+	raw, err := sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (outcome, error) {
 		in, err := applyGridPoint(names, point)
 		if err != nil {
 			return outcome{}, fmt.Errorf("point %v: %w", point, err)
@@ -123,41 +176,53 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 		if cfg.Samples > 0 {
 			in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng.Float64())
 		}
-		horizon := 4 * feasibility.TimeBound(in.Attrs, in.D.Norm(), in.R)
-		if math.IsInf(horizon, 1) || horizon <= 0 {
-			horizon = 1e6
-		}
-		res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: horizon})
+		res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in)})
 		if err != nil {
 			return outcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
 		}
 		return outcome{Met: res.Met, Time: res.Time}, nil
 	}, cfg.sweepOptions())
 	if err != nil {
-		return err
+		return nil, err
 	}
 
-	t := Table{
-		ID:      "GRID",
-		Title:   fmt.Sprintf("parameter sweep under %s (%d points × %d samples)", programID, grid.Size(), samples),
-		Source:  "CLI -grid " + strings.Join(specs, " -grid "),
-		Columns: append(append([]string{}, names...), "met", "T_min", "T_mean", "T_p90", "T_max"),
-	}
+	out := &GridResult{Axes: names, Algorithm: programID, Points: grid.Size(), Samples: samples}
+	out.Cells = make([]GridCell, grid.Size())
 	for ci := 0; ci < grid.Size(); ci++ {
-		point := grid.Point(ci)
 		times := make([]float64, 0, samples)
-		for _, o := range cells[ci*samples : (ci+1)*samples] {
+		for _, o := range raw[ci*samples : (ci+1)*samples] {
 			if o.Met {
 				times = append(times, o.Time)
 			}
 		}
-		s := analysis.Summarize(times)
-		row := make([]any, 0, len(point)+5)
-		for _, x := range point {
+		out.Cells[ci] = GridCell{Point: grid.Point(ci), Met: len(times), Times: times}
+	}
+	return out, nil
+}
+
+// RunGridCfg runs SweepGrid and renders one table for the whole grid: the
+// met fraction and analysis.Summarize statistics of the meeting times per
+// point (over the samples of the point; with one sample the statistics
+// collapse onto it).
+func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg Config) error {
+	res, err := SweepGrid(specs, algoName, cfg)
+	if err != nil {
+		return err
+	}
+	t := Table{
+		ID:      "GRID",
+		Title:   fmt.Sprintf("parameter sweep under %s (%d points × %d samples)", res.Algorithm, res.Points, res.Samples),
+		Source:  "CLI -grid " + strings.Join(specs, " -grid "),
+		Columns: append(append([]string{}, res.Axes...), "met", "T_min", "T_mean", "T_p90", "T_max"),
+	}
+	for _, cell := range res.Cells {
+		s := analysis.Summarize(cell.Times)
+		row := make([]any, 0, len(cell.Point)+5)
+		for _, x := range cell.Point {
 			row = append(row, x)
 		}
-		row = append(row, fmt.Sprintf("%d/%d", len(times), samples))
-		if len(times) == 0 {
+		row = append(row, fmt.Sprintf("%d/%d", cell.Met, res.Samples))
+		if len(cell.Times) == 0 {
 			row = append(row, "-", "-", "-", "-")
 		} else {
 			row = append(row, s.Min, s.Mean, s.P90, s.Max)

@@ -15,6 +15,12 @@ type Monitor struct {
 	// concurrency-safe. Set it before the first Run.
 	OnChange func(done, total int64)
 
+	// OnJob, when non-nil, is called with each completed job's wall time,
+	// before OnChange. Same rules: worker goroutines, keep it cheap and
+	// concurrency-safe, set it before the first Run. The telemetry layer
+	// uses it to stream per-job timings into its flush-interval timers.
+	OnJob func(d time.Duration)
+
 	mu      sync.Mutex
 	done    int64
 	total   int64
@@ -41,7 +47,11 @@ func (m *Monitor) jobDone(d time.Duration) {
 	m.seconds = append(m.seconds, d.Seconds())
 	done, total := m.done, m.total
 	cb := m.OnChange
+	onJob := m.OnJob
 	m.mu.Unlock()
+	if onJob != nil {
+		onJob(d)
+	}
 	if cb != nil {
 		cb(done, total)
 	}
