@@ -1,8 +1,14 @@
 # Developer / CI entry points. `make ci` is what every PR must keep green:
 # vet, build, the full test suite under the race detector (the sweep engine
-# is concurrent; -race is not optional), and the multi-core sweep speedup
+# is concurrent; -race is not optional), the multi-core sweep speedup
 # gate (TestSweepWorkersGate — BenchmarkSweepWorkersMax must beat
-# BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners).
+# BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners), and the
+# batch-kernel speedup gate (TestGridBatchSpeedupGate — sim.SearchBatch must
+# beat the scalar path ≥3× on a 64-lane grid row, bit-identically).
+#
+# `make profile` records CPU/heap profiles of the hot benchmarks into
+# profiles/; inspect with `go tool pprof -top profiles/cpu.prof` (or
+# `-http=:8081` for the flame graph).
 
 GO ?= go
 FUZZTIME ?= 10s
@@ -11,7 +17,7 @@ FUZZTIME ?= 10s
 # time; without it benchmarks run the default 1s per benchmark.
 BENCHTIME := $(if $(QUICK),100x,1s)
 
-.PHONY: ci vet build test race gate bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck
+.PHONY: ci vet build test race gate batchgate bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
 
 # loadcheck proves the rvserved serving path under real load: it builds the
 # daemon, boots it on an ephemeral port, drives LOADCLIENTS concurrent
@@ -27,7 +33,7 @@ loadcheck:
 	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
 	$(GO) run ./cmd/loadcheck -server "$$tmp/rvserved" -clients $(LOADCLIENTS) -duration $(LOADDURATION)
 
-ci: vet build race gate
+ci: vet build race gate batchgate
 
 vet:
 	$(GO) vet ./...
@@ -43,6 +49,20 @@ race:
 
 gate:
 	$(GO) test -run TestSweepWorkersGate -count 1 -v .
+
+# batchgate pins the SoA batch kernel's speedup over the scalar path (and
+# their bit-identity) — see batch_gate_test.go.
+batchgate:
+	$(GO) test -run TestGridBatchSpeedupGate -count 1 -v .
+
+# profile captures CPU and heap profiles of the search hot path and the
+# batch-vs-scalar grid row benchmarks. One-liner to read them:
+#   go tool pprof -top profiles/cpu.prof
+profile:
+	mkdir -p profiles
+	$(GO) test -run NONE -bench 'BenchmarkE1SearchScaling$$|BenchmarkGridScalar$$|BenchmarkGridBatch$$' \
+		-benchmem -benchtime=$(BENCHTIME) \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof .
 
 # bench records the full benchmark suite — per-experiment tables, sweep
 # scaling, cache warm/cold, and the simulator hot-path allocation gates
@@ -128,9 +148,11 @@ shardcheck:
 	echo "shard/merge output is byte-identical to the single-process run (incl. streaming merge with a retried straggler)"
 
 # Short fuzz passes over the property-based targets (grid-spec and
-# shard-spec parsing, τ-decomposition, Lambert W). Override FUZZTIME for
-# shorter/longer passes, e.g. `make fuzz FUZZTIME=5s`.
+# shard-spec parsing, τ-decomposition, Lambert W, and the batch-vs-scalar
+# kernel differential). Override FUZZTIME for shorter/longer passes, e.g.
+# `make fuzz FUZZTIME=5s`.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run NONE -fuzz FuzzParseShard -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime $(FUZZTIME) ./internal/bounds
+	$(GO) test -run NONE -fuzz FuzzBatchMatchesScalar -fuzztime $(FUZZTIME) ./internal/sim

@@ -17,10 +17,12 @@ import (
 	"testing"
 
 	"repro/internal/algo"
+	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/experiments"
 	"repro/internal/geom"
 	"repro/internal/motion"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trajectory"
 )
@@ -311,4 +313,59 @@ func BenchmarkWalker(b *testing.B) {
 		}
 		w.Close()
 	}
+}
+
+// --- batched SoA kernel benchmarks -------------------------------------
+
+// gridBenchLanes is the shared workload of the batch-vs-scalar pair below:
+// one E1-class grid row of 64 target directions at d=2, r=1/16, each a full
+// search of the cumulative program. Both benchmarks process all 64 instances
+// per iteration, so their ns/op ratio is the per-instance speedup the batch
+// kernel's amortized segment generation buys.
+const gridBenchLanes = 64
+
+func gridBenchWorkload() (targets []Vec, r, horizon float64) {
+	d, r := 2.0, 0.0625
+	horizon = 2*SearchTimeBound(d, r) + 1000
+	targets = make([]Vec, gridBenchLanes)
+	for k := range targets {
+		targets[k] = Polar(d, 2*math.Pi*float64(k)/gridBenchLanes+0.1)
+	}
+	return targets, r, horizon
+}
+
+// BenchmarkGridScalar evaluates the row through the scalar per-job path: one
+// Search call — and one regenerated trajectory stream — per instance.
+func BenchmarkGridScalar(b *testing.B) {
+	targets, r, horizon := gridBenchWorkload()
+	b.ReportAllocs()
+	for b.Loop() {
+		for _, tgt := range targets {
+			res, err := Search(CumulativeSearch(), tgt, r, Options{Horizon: horizon})
+			if err != nil || !res.Met {
+				b.Fatalf("met=%v err=%v", res.Met, err)
+			}
+		}
+	}
+	b.ReportMetric(gridBenchLanes, "instances/op")
+}
+
+// BenchmarkGridBatch evaluates the same row through sim.SearchBatch: one
+// shared trajectory stream, per-lane work reduced to closed-form contacts.
+func BenchmarkGridBatch(b *testing.B) {
+	targets, r, horizon := gridBenchWorkload()
+	var lanes batch.Lanes
+	for _, tgt := range targets {
+		lanes.AddSearch(tgt, r, horizon)
+	}
+	b.ReportAllocs()
+	for b.Loop() {
+		results, errs := sim.SearchBatch(algo.CumulativeSearch(), &lanes, sim.Options{})
+		for i := range results {
+			if errs[i] != nil || !results[i].Met {
+				b.Fatalf("lane %d: met=%v err=%v", i, results[i].Met, errs[i])
+			}
+		}
+	}
+	b.ReportMetric(gridBenchLanes, "instances/op")
 }

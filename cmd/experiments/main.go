@@ -7,7 +7,8 @@
 // Usage:
 //
 //	experiments [-run ID] [-markdown] [-workers N] [-seed S] [-samples K]
-//	            [-cache] [-cachefile F] [-cachesize N] [-cachewarm F]... [-v]
+//	            [-batch=false] [-cache] [-cachefile F] [-cachesize N]
+//	            [-cachewarm F]... [-v]
 //	            [-grid spec]... [-gridalgo A]
 //	            [-shard I/K [-shardfile F]]
 //	            [-merge F]... [-merge-dir D [-merge-poll T] [-merge-timeout T]]
@@ -22,6 +23,11 @@
 //	-samples K    K > 0 switches the sampling-aware experiments (E1) and
 //	              grid sweeps to K random draws per grid cell, with
 //	              summary statistics
+//	-batch        evaluate batch-eligible sweeps (E1's direction fans and
+//	              -grid rendezvous sweeps) through the SoA batch kernels,
+//	              which amortize trajectory generation across whole grid
+//	              rows (default true). Output is byte-identical either
+//	              way; -batch=false forces the scalar per-job path
 //	-cache        memoize simulation results in memory (identical output,
 //	              repeated instances simulate once)
 //	-cachefile F  persist the cache to the JSON-lines file F (implies
@@ -131,6 +137,7 @@ func run() int {
 		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
 		seed      = flag.Int64("seed", 0, "base seed for Monte-Carlo sampling")
 		samples   = flag.Int("samples", 0, "Monte-Carlo draws per grid cell (0 = deterministic grids)")
+		batch     = flag.Bool("batch", true, "evaluate batch-eligible sweeps through the SoA batch kernels (identical output)")
 		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
 		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
 		cacheSize = flag.Int("cachesize", 0, "LRU capacity of the result cache (0 = default)")
@@ -152,7 +159,7 @@ func run() int {
 		return 1
 	}
 
-	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples}
+	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples, Batch: *batch}
 
 	// Shard/merge setup. The scope fingerprint ties shard files to the
 	// workload that produced them (suite vs. a specific grid).

@@ -19,7 +19,10 @@
 //	                      "samples":3,"seed":7,"workers":0}
 //	GET  /metrics        telemetry snapshot (flush-interval counters, gauges,
 //	                     latency timers, runtime stats) + coherent cache
-//	                     counters (hits+misses == lookups in every scrape)
+//	                     counters (hits+misses == lookups in every scrape).
+//	                     With batched sweeps enabled, batch.rows counts the
+//	                     SoA kernel calls and batch.lanes the instances they
+//	                     amortized (lanes/rows ≈ the amortization factor)
 //	GET  /healthz        liveness: uptime, cache occupancy, pool size
 //
 // The singleflight result cache is the server's hot store: repeated queries
@@ -44,6 +47,9 @@
 //	-sweeps N         max concurrent /v1/sweep requests (default 2)
 //	-sweep-jobs N     per-sweep job budget, points × samples (default 4096)
 //	-metrics-flush D  telemetry flush interval (default 10s)
+//	-batch            route /v1/sweep through the SoA batch kernels, which
+//	                  amortize trajectory generation across whole grid rows
+//	                  (default true; responses are byte-identical either way)
 package main
 
 import (
@@ -72,15 +78,16 @@ func main() {
 		sweeps       = flag.Int("sweeps", 2, "max concurrent /v1/sweep requests")
 		sweepJobs    = flag.Int("sweep-jobs", 4096, "per-sweep job budget (grid points × samples)")
 		metricsFlush = flag.Duration("metrics-flush", telemetry.DefaultInterval, "telemetry flush interval")
+		batch        = flag.Bool("batch", true, "route /v1/sweep through the SoA batch kernels (identical responses)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheFile, *cacheSize, *flushEvery, *sweeps, *sweepJobs, *metricsFlush); err != nil {
+	if err := run(*addr, *workers, *cacheFile, *cacheSize, *flushEvery, *sweeps, *sweepJobs, *metricsFlush, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, "rvserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery time.Duration, sweeps, sweepJobs int, metricsFlush time.Duration) error {
+func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery time.Duration, sweeps, sweepJobs int, metricsFlush time.Duration, batch bool) error {
 	if sweeps < 1 {
 		return fmt.Errorf("-sweeps must be at least 1")
 	}
@@ -109,7 +116,7 @@ func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery t
 	reg := telemetry.NewRegistry(metricsFlush)
 	reg.Start(ctx)
 
-	srv := newServer(c, pool, reg, sweeps, sweepJobs, maxRequestWorkers())
+	srv := newServer(c, pool, reg, sweeps, sweepJobs, maxRequestWorkers(), batch)
 	httpSrv := &http.Server{
 		Handler:           srv.routes(),
 		ReadHeaderTimeout: 10 * time.Second,

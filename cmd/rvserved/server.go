@@ -48,15 +48,21 @@ type server struct {
 	// maxWorkers caps a request's private worker budget (req.Workers);
 	// requests without one share the process-wide pool.
 	maxWorkers int
+	// batch routes /v1/sweep evaluations through the SoA batch kernels
+	// (identical response bytes; batch.rows/batch.lanes count the kernel
+	// calls and the lanes they amortized).
+	batch bool
 
 	requests, errs, rejected *telemetry.Counter
+	batchRows, batchLanes    *telemetry.Counter
 	sweepDepth               *telemetry.Gauge
 }
 
 // newServer assembles the serving state. sweeps is the admission capacity of
 // /v1/sweep (0 rejects every sweep — useful in tests), maxSweepJobs the
-// per-request job budget, maxWorkers the cap on private worker budgets.
-func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps, maxSweepJobs, maxWorkers int) *server {
+// per-request job budget, maxWorkers the cap on private worker budgets,
+// batch whether sweeps evaluate through the SoA batch kernels.
+func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps, maxSweepJobs, maxWorkers int, batch bool) *server {
 	s := &server{
 		cache:        c,
 		pool:         pool,
@@ -66,9 +72,12 @@ func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps
 		sweepSem:     make(chan struct{}, sweeps),
 		maxSweepJobs: maxSweepJobs,
 		maxWorkers:   maxWorkers,
+		batch:        batch,
 		requests:     reg.Counter("http.requests"),
 		errs:         reg.Counter("http.errors"),
 		rejected:     reg.Counter("sweep.rejected"),
+		batchRows:    reg.Counter("batch.rows"),
+		batchLanes:   reg.Counter("batch.lanes"),
 		sweepDepth:   reg.Gauge("sweep.in_flight"),
 	}
 	telemetry.AttachMonitor(reg, s.mon)
@@ -385,6 +394,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		Cache:   s.cache,
 		Monitor: s.mon,
 		Pool:    s.pool,
+		Batch:   s.batch,
+		OnBatch: func(rows, lanes int) {
+			s.batchRows.Add(uint64(rows))
+			s.batchLanes.Add(uint64(lanes))
+		},
 	}
 	if req.Workers > 0 {
 		// A private worker budget: this sweep runs on its own goroutines,

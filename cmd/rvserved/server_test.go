@@ -22,7 +22,7 @@ func newTestServer(t *testing.T, c *cache.Cache, sweeps int) (*server, *httptest
 	t.Helper()
 	pool := sweep.NewPool(2)
 	t.Cleanup(pool.Close)
-	s := newServer(c, pool, telemetry.NewRegistry(0), sweeps, 512, 4)
+	s := newServer(c, pool, telemetry.NewRegistry(0), sweeps, 512, 4, true)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -181,6 +181,15 @@ func TestSweepEndpoint(t *testing.T) {
 	}
 	if st := s.cache.Stats(); st.Lookups == 0 {
 		t.Errorf("sweep did not read through the cache: %+v", st)
+	}
+	// The server defaults to batched sweeps: the kernel telemetry must show
+	// rows amortizing multiple lanes each.
+	rows, lanes := s.batchRows.Total(), s.batchLanes.Total()
+	if rows == 0 || lanes == 0 {
+		t.Errorf("batch telemetry empty after a batched sweep: rows=%d lanes=%d", rows, lanes)
+	}
+	if lanes < rows {
+		t.Errorf("batch.lanes (%d) < batch.rows (%d): rows must hold at least one lane", lanes, rows)
 	}
 }
 

@@ -25,6 +25,9 @@
 //	-samples int  Monte-Carlo instances (default 1 = the single instance)
 //	-seed int     base seed for the Monte-Carlo sweep (default 0)
 //	-workers int  sweep worker-pool size: 0 = one per CPU, 1 = serial
+//	-batch        evaluate the sweep through the SoA batch kernel, which
+//	              amortizes trajectory generation across rows of samples
+//	              (default true); output is byte-identical either way
 //
 // With -cache the simulation results are memoized in memory (see
 // internal/cache); -cachefile F additionally persists them to the
@@ -49,10 +52,12 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/plot"
+	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/trajectory"
@@ -79,6 +84,7 @@ func run() (code int) {
 		samples   = flag.Int("samples", 1, "Monte-Carlo instances with random φ and displacement direction (1 = single instance)")
 		seed      = flag.Int64("seed", 0, "base seed for the Monte-Carlo sweep")
 		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
+		batch     = flag.Bool("batch", true, "evaluate the Monte-Carlo sweep through the SoA batch kernel (identical output)")
 		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
 		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
 	)
@@ -131,7 +137,7 @@ func run() (code int) {
 		if *traceOut != "" || *plotOut {
 			fmt.Fprintln(os.Stderr, "rvsim: -trace/-plot apply to single instances only; ignored with -samples > 1")
 		}
-		return runMonteCarlo(memo, programID, mkProgram, in, *samples, *seed, *workers, *horizon)
+		return runMonteCarlo(memo, programID, mkProgram, in, *samples, *seed, *workers, *horizon, *batch)
 	}
 	program := mkProgram()
 
@@ -195,36 +201,86 @@ func run() (code int) {
 	return 0
 }
 
+// mcInstance derives sample i's randomised instance and horizon: the
+// orientation φ and the displacement direction (keeping |d|) are redrawn
+// from the sample's private RNG — the single definition both the scalar and
+// batched sweeps below share, so they are byte-identical for a fixed seed.
+func mcInstance(base rendezvous.Instance, dist float64, rng *rand.Rand, horizon float64) (rendezvous.Instance, float64) {
+	in := base
+	in.Attrs.Phi = 2 * math.Pi * rng.Float64()
+	in.D = geom.Polar(dist, 2*math.Pi*rng.Float64())
+	h := horizon
+	if h <= 0 {
+		h = 4 * rendezvous.RendezvousTimeBound(in)
+		if math.IsInf(h, 1) || h <= 0 {
+			h = 1e6
+		}
+	}
+	return in, h
+}
+
 // runMonteCarlo fans `samples` randomised variants of the base instance out
 // over the sweep pool: each sample redraws the orientation φ and the
 // displacement direction (keeping |d|) from its private per-index RNG, so
 // the sweep reproduces exactly for a fixed seed at any worker count. It
 // prints the meeting fraction and summary statistics of the meeting times.
 // With a cache (memo non-nil), repeated instances — same seed re-runs via
-// -cachefile in particular — are served without re-simulating.
-func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64) int {
+// -cachefile in particular — are served without re-simulating. With batch,
+// rows of samples evaluate through sim.RendezvousBatch, sharing one
+// trajectory stream per row; the printed output is identical either way.
+func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64, batched bool) int {
 	type outcome struct {
 		met  bool
 		time float64
 	}
 	dist := base.D.Norm()
-	results, err := sweep.Run(samples, func(i int, rng *rand.Rand) (outcome, error) {
-		in := base
-		in.Attrs.Phi = 2 * math.Pi * rng.Float64()
-		in.D = geom.Polar(dist, 2*math.Pi*rng.Float64())
-		h := horizon
-		if h <= 0 {
-			h = 4 * rendezvous.RendezvousTimeBound(in)
-			if math.IsInf(h, 1) || h <= 0 {
-				h = 1e6
+	sopt := sweep.Options{Workers: workers, BaseSeed: seed}
+	var results []outcome
+	var err error
+	if batched {
+		// Rows of up to 64 samples share one generated trajectory stream.
+		results, err = sweep.RunBatched(samples, 64,
+			func(indices []int, rng func(i int) *rand.Rand) ([]outcome, error) {
+				out := make([]outcome, len(indices))
+				keys := make([]cache.Key, len(indices))
+				var lanes batch.Lanes
+				laneOf := make([]int, 0, len(indices))
+				phis := make([]float64, len(indices))
+				for k, i := range indices {
+					in, h := mcInstance(base, dist, rng(i), horizon)
+					phis[k] = in.Attrs.Phi
+					opt := rendezvous.Options{Horizon: h}
+					keys[k] = cache.RendezvousKey(programID, in, opt)
+					if res, ok := memo.Get(keys[k]); ok {
+						out[k] = outcome{res.Met, res.Time}
+						continue
+					}
+					lanes.AddRendezvous(in.Attrs, in.D, in.R, h)
+					laneOf = append(laneOf, k)
+				}
+				if lanes.Len() > 0 {
+					res, kerrs := sim.RendezvousBatch(mkProgram(), &lanes, sim.Options{})
+					for li, k := range laneOf {
+						if kerrs[li] != nil {
+							return nil, &sweep.LaneError{Lane: k, Err: fmt.Errorf(
+								"sample %d (φ=%.4g): %w", indices[k], phis[k], kerrs[li])}
+						}
+						memo.Put(keys[k], res[li])
+						out[k] = outcome{res[li].Met, res[li].Time}
+					}
+				}
+				return out, nil
+			}, sopt)
+	} else {
+		results, err = sweep.Run(samples, func(i int, rng *rand.Rand) (outcome, error) {
+			in, h := mcInstance(base, dist, rng, horizon)
+			res, err := memo.Rendezvous(programID, mkProgram, in, rendezvous.Options{Horizon: h})
+			if err != nil {
+				return outcome{}, fmt.Errorf("sample %d (φ=%.4g): %w", i, in.Attrs.Phi, err)
 			}
-		}
-		res, err := memo.Rendezvous(programID, mkProgram, in, rendezvous.Options{Horizon: h})
-		if err != nil {
-			return outcome{}, fmt.Errorf("sample %d (φ=%.4g): %w", i, in.Attrs.Phi, err)
-		}
-		return outcome{res.Met, res.Time}, nil
-	}, sweep.Options{Workers: workers, BaseSeed: seed})
+			return outcome{res.Met, res.Time}, nil
+		}, sopt)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rvsim:", err)
 		return 1

@@ -1,0 +1,80 @@
+// Package batch holds the struct-of-arrays lane layout the batch simulators
+// consume. A Lanes value is one batched row: many instances that share one
+// algorithm program (the segment stream is generated once) but differ in the
+// per-lane parameters — target/displacement, visibility radius, horizon, and
+// for rendezvous the frame attributes (v, τ, φ, χ).
+//
+// The layout is one parallel float64 slice per field, so the kernels in
+// internal/sim can sweep a segment across all lanes as tight loops over flat
+// vectors: no interface values, no per-lane structs, no pointer chasing.
+package batch
+
+import (
+	"repro/internal/frame"
+	"repro/internal/geom"
+)
+
+// Lanes is a struct-of-arrays batch of simulation instances. All slices have
+// equal length Len(). Search lanes fill TX/TY (target), R, and Horizon;
+// rendezvous lanes additionally fill the frame-attribute vectors and use
+// TX/TY as the initial displacement d.
+type Lanes struct {
+	// TX, TY are the static target (search) or the initial displacement d
+	// of robot R′ (rendezvous), per lane.
+	TX, TY []float64
+	// R is the visibility radius per lane.
+	R []float64
+	// Horizon is the simulation give-up time per lane.
+	Horizon []float64
+
+	// Rendezvous frame attributes per lane (unused by search batches).
+	V, Tau, Phi []float64
+	Chi         []int
+}
+
+// Len returns the number of lanes.
+func (l *Lanes) Len() int { return len(l.TX) }
+
+// Reset empties the batch, keeping the slice capacity for reuse.
+func (l *Lanes) Reset() {
+	l.TX = l.TX[:0]
+	l.TY = l.TY[:0]
+	l.R = l.R[:0]
+	l.Horizon = l.Horizon[:0]
+	l.V = l.V[:0]
+	l.Tau = l.Tau[:0]
+	l.Phi = l.Phi[:0]
+	l.Chi = l.Chi[:0]
+}
+
+// AddSearch appends one search lane (static target, radius, horizon) and
+// returns its lane index.
+func (l *Lanes) AddSearch(target geom.Vec, r, horizon float64) int {
+	l.TX = append(l.TX, target.X)
+	l.TY = append(l.TY, target.Y)
+	l.R = append(l.R, r)
+	l.Horizon = append(l.Horizon, horizon)
+	return len(l.TX) - 1
+}
+
+// AddRendezvous appends one rendezvous lane (frame attributes, displacement,
+// radius, horizon) and returns its lane index.
+func (l *Lanes) AddRendezvous(attrs frame.Attributes, d geom.Vec, r, horizon float64) int {
+	l.TX = append(l.TX, d.X)
+	l.TY = append(l.TY, d.Y)
+	l.R = append(l.R, r)
+	l.Horizon = append(l.Horizon, horizon)
+	l.V = append(l.V, attrs.V)
+	l.Tau = append(l.Tau, attrs.Tau)
+	l.Phi = append(l.Phi, attrs.Phi)
+	l.Chi = append(l.Chi, int(attrs.Chi))
+	return len(l.TX) - 1
+}
+
+// Attrs reconstructs the frame attributes of rendezvous lane i.
+func (l *Lanes) Attrs(i int) frame.Attributes {
+	return frame.Attributes{V: l.V[i], Tau: l.Tau[i], Phi: l.Phi[i], Chi: frame.Chirality(l.Chi[i])}
+}
+
+// Target returns the target/displacement vector of lane i.
+func (l *Lanes) Target(i int) geom.Vec { return geom.Vec{X: l.TX[i], Y: l.TY[i]} }

@@ -104,7 +104,7 @@ func runAll(w io.Writer, markdown bool, cfg Config, runners []Runner) error {
 			// Each runner numbers its own sweeps, so shard-exchange batch
 			// names ("E3#0", ...) are deterministic under any scheduling.
 			rcfg := cfg
-			rcfg.batch = &batchCounter{prefix: r.ID}
+			rcfg.sweepNames = &batchCounter{prefix: r.ID}
 			table, err := r.Run(rcfg)
 			done[i] <- outcome{table, err}
 		}(i, r)
@@ -141,7 +141,7 @@ func RunOneCfg(id string, w io.Writer, markdown bool, cfg Config) error {
 		if r.ID != id {
 			continue
 		}
-		cfg.batch = &batchCounter{prefix: r.ID}
+		cfg.sweepNames = &batchCounter{prefix: r.ID}
 		table, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", r.ID, err)

@@ -52,10 +52,25 @@ type Config struct {
 	// concurrent sweep requests share one budget. Results are identical
 	// either way.
 	Pool *sweep.Pool
-	// batch mints the deterministic per-sweep batch names ("E3#0",
+	// Batch, when true, routes the batch-eligible sweeps — the -grid
+	// rendezvous sweeps and E1's per-cell direction fans — through the SoA
+	// batch kernels (sim.SearchBatch / sim.RendezvousBatch via
+	// sweep.RunBatched), which evaluate a whole row of lanes over one
+	// shared program stream. Tables are byte-identical to the scalar path;
+	// this is purely a throughput switch. Experiments without a batch
+	// kernel ignore it.
+	Batch bool
+	// OnBatch, when non-nil, is called once per batched row the kernels
+	// evaluate, with the row count (always 1 per call) and the number of
+	// lanes in it — the feed for cmd/rvserved's batch.rows / batch.lanes
+	// telemetry. It must be safe for concurrent use: rows run on the sweep
+	// workers.
+	OnBatch func(rows, lanes int)
+
+	// sweepNames mints the deterministic per-sweep batch names ("E3#0",
 	// "E3#1", ...) that key the Store records. Each runner gets its own
 	// counter, so names are stable however the suite is scheduled.
-	batch *batchCounter
+	sweepNames *batchCounter
 }
 
 // batchCounter numbers the sweeps of one experiment in call order. Sweeps
@@ -74,9 +89,9 @@ func (b *batchCounter) next() string {
 
 func (c Config) sweepOptions() sweep.Options {
 	opt := sweep.Options{Workers: c.Workers, BaseSeed: c.Seed, Pool: c.Pool, Monitor: c.Monitor, Shard: c.Shard}
-	if c.Store != nil && c.batch != nil {
+	if c.Store != nil && c.sweepNames != nil {
 		opt.Exchange = c.Store
-		opt.Batch = c.batch.next()
+		opt.Batch = c.sweepNames.next()
 	}
 	return opt
 }

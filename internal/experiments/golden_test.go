@@ -18,8 +18,8 @@ import (
 // captured from the interface-based segment representation (the tree at
 // PR 4) and committed. These tests re-render the same workloads — the full
 // RunAll suite and one Monte-Carlo grid — across workers ∈ {1, 8} ×
-// cache on/off × shard K ∈ {1, 3} and require every byte to match the
-// committed goldens. Unlike the self-consistency tests (which compare two
+// cache on/off × shard K ∈ {1, 3} × batch kernel on/off and require every
+// byte to match the committed goldens. Unlike the self-consistency tests (which compare two
 // code paths of the same tree), this pins the output across *refactors*: a
 // representation change that shifts any float operation shows up as a
 // golden diff, not as two identically-wrong renderings.
@@ -83,17 +83,24 @@ func TestGoldenRunAll(t *testing.T) {
 	want := readGolden(t, "golden_runall_seed7.txt")
 	for _, workers := range []int{1, 8} {
 		for _, useCache := range []bool{false, true} {
-			name := fmt.Sprintf("workers=%d cache=%v", workers, useCache)
-			cfg := Config{Workers: workers, Seed: 7}
-			if useCache {
-				cfg.Cache = cache.New(0)
-			}
-			var buf bytes.Buffer
-			if err := RunAllCfg(&buf, false, cfg); err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			if buf.String() != want {
-				t.Errorf("%s: RunAll output differs from the committed pre-refactor golden", name)
+			for _, batch := range []bool{false, true} {
+				if batch && workers == 1 {
+					// Bound the runtime: the batch × workers=1 combination is
+					// covered exhaustively by the (fast) grid golden below.
+					continue
+				}
+				name := fmt.Sprintf("workers=%d cache=%v batch=%v", workers, useCache, batch)
+				cfg := Config{Workers: workers, Seed: 7, Batch: batch}
+				if useCache {
+					cfg.Cache = cache.New(0)
+				}
+				var buf bytes.Buffer
+				if err := RunAllCfg(&buf, false, cfg); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if buf.String() != want {
+					t.Errorf("%s: RunAll output differs from the committed pre-refactor golden", name)
+				}
 			}
 		}
 	}
@@ -113,6 +120,13 @@ func TestGoldenRunAllSharded(t *testing.T) {
 			}
 		}
 	}
+	// One batched sharded pass: batch-kernel shards must record exchange
+	// entries that recombine exactly like scalar ones.
+	batched := base
+	batched.Batch = true
+	if got := runAllSharded(t, batched, 3, true); got != want {
+		t.Error("K=3 cache=true batch=true: merged output differs from the committed pre-refactor golden")
+	}
 }
 
 func TestGoldenMonteCarloGrid(t *testing.T) {
@@ -120,17 +134,19 @@ func TestGoldenMonteCarloGrid(t *testing.T) {
 	specs := []string{"v=0.25,0.5,0.75", "phi=0:2:1"}
 	for _, workers := range []int{1, 8} {
 		for _, useCache := range []bool{false, true} {
-			name := fmt.Sprintf("workers=%d cache=%v", workers, useCache)
-			cfg := Config{Workers: workers, Seed: 5, Samples: 3}
-			if useCache {
-				cfg.Cache = cache.New(0)
-			}
-			var buf bytes.Buffer
-			if err := RunGridCfg(&buf, false, specs, "search", cfg); err != nil {
-				t.Fatalf("%s: %v", name, err)
-			}
-			if buf.String() != want {
-				t.Errorf("%s: grid output differs from the committed pre-refactor golden", name)
+			for _, batch := range []bool{false, true} {
+				name := fmt.Sprintf("workers=%d cache=%v batch=%v", workers, useCache, batch)
+				cfg := Config{Workers: workers, Seed: 5, Samples: 3, Batch: batch}
+				if useCache {
+					cfg.Cache = cache.New(0)
+				}
+				var buf bytes.Buffer
+				if err := RunGridCfg(&buf, false, specs, "search", cfg); err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if buf.String() != want {
+					t.Errorf("%s: grid output differs from the committed pre-refactor golden", name)
+				}
 			}
 		}
 	}
@@ -145,32 +161,38 @@ func TestGoldenMonteCarloGridSharded(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, k := range []int{1, 3} {
-		dir := t.TempDir()
-		files := make([]string, k)
-		for idx := 0; idx < k; idx++ {
-			cfg := base
-			cfg.Shard = sweep.Shard{Index: idx, Count: k}
-			cfg.Store = NewShardStore()
-			if err := RunGridCfg(io.Discard, false, specs, "search", cfg); err != nil {
-				t.Fatalf("K=%d shard %d: %v", k, idx, err)
+		for _, batch := range []bool{false, true} {
+			dir := t.TempDir()
+			files := make([]string, k)
+			for idx := 0; idx < k; idx++ {
+				cfg := base
+				cfg.Batch = batch
+				cfg.Shard = sweep.Shard{Index: idx, Count: k}
+				cfg.Store = NewShardStore()
+				if err := RunGridCfg(io.Discard, false, specs, "search", cfg); err != nil {
+					t.Fatalf("K=%d batch=%v shard %d: %v", k, batch, idx, err)
+				}
+				files[idx] = filepath.Join(dir, fmt.Sprintf("grid-%d.jsonl", idx))
+				if err := cfg.Store.Save(files[idx], cfg.Meta(scope)); err != nil {
+					t.Fatal(err)
+				}
 			}
-			files[idx] = filepath.Join(dir, fmt.Sprintf("grid-%d.jsonl", idx))
-			if err := cfg.Store.Save(files[idx], cfg.Meta(scope)); err != nil {
+			store, _, err := LoadShards(files...)
+			if err != nil {
 				t.Fatal(err)
 			}
-		}
-		store, _, err := LoadShards(files...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		mcfg := base
-		mcfg.Store = store
-		var buf bytes.Buffer
-		if err := RunGridCfg(&buf, false, specs, "search", mcfg); err != nil {
-			t.Fatalf("K=%d merge: %v", k, err)
-		}
-		if buf.String() != want {
-			t.Errorf("K=%d: merged grid output differs from the committed pre-refactor golden", k)
+			// Merge with the opposite kind: scalar-recorded shards must serve
+			// a batched merge run and vice versa.
+			mcfg := base
+			mcfg.Batch = !batch
+			mcfg.Store = store
+			var buf bytes.Buffer
+			if err := RunGridCfg(&buf, false, specs, "search", mcfg); err != nil {
+				t.Fatalf("K=%d batch=%v merge: %v", k, batch, err)
+			}
+			if buf.String() != want {
+				t.Errorf("K=%d batch=%v: merged grid output differs from the committed pre-refactor golden", k, batch)
+			}
 		}
 	}
 }

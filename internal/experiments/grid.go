@@ -159,29 +159,35 @@ func SweepGrid(specs []string, algoName string, cfg Config) (*GridResult, error)
 	if samples < 1 {
 		samples = 1
 	}
-	if cfg.batch == nil {
-		cfg.batch = &batchCounter{prefix: "GRID"}
+	if cfg.sweepNames == nil {
+		cfg.sweepNames = &batchCounter{prefix: "GRID"}
 	}
-	// Exported fields with JSON tags: the cell is the per-job record a
-	// distributed shard exchanges, so it must round-trip exactly.
-	type outcome struct {
-		Met  bool    `json:"met"`
-		Time float64 `json:"t"`
+	var raw []gridOutcome
+	if cfg.Batch {
+		// Batched path: every cell of the grid shares the algorithm's
+		// program shape, so whole rows (one grid point, all its samples)
+		// run through the SoA rendezvous kernel. Bytes are identical to the
+		// scalar path below.
+		raw, err = sweep.RunBatched(grid.Size()*samples, samples,
+			func(indices []int, rng func(int) *rand.Rand) ([]gridOutcome, error) {
+				return gridBatchRow(grid, names, samples, programID, program, cfg, indices, rng)
+			}, cfg.sweepOptions())
+	} else {
+		raw, err = sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (gridOutcome, error) {
+			in, err := applyGridPoint(names, point)
+			if err != nil {
+				return gridOutcome{}, fmt.Errorf("point %v: %w", point, err)
+			}
+			if cfg.Samples > 0 {
+				in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng.Float64())
+			}
+			res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in)})
+			if err != nil {
+				return gridOutcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
+			}
+			return gridOutcome{Met: res.Met, Time: res.Time}, nil
+		}, cfg.sweepOptions())
 	}
-	raw, err := sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (outcome, error) {
-		in, err := applyGridPoint(names, point)
-		if err != nil {
-			return outcome{}, fmt.Errorf("point %v: %w", point, err)
-		}
-		if cfg.Samples > 0 {
-			in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng.Float64())
-		}
-		res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in)})
-		if err != nil {
-			return outcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
-		}
-		return outcome{Met: res.Met, Time: res.Time}, nil
-	}, cfg.sweepOptions())
 	if err != nil {
 		return nil, err
 	}

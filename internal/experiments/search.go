@@ -43,24 +43,35 @@ func E1SearchScalingCfg(cfg Config) (Table, error) {
 	if mc {
 		dirs = cfg.Samples
 	}
-	times, err := sweep.RunGrid(grid, dirs, func(point []float64, k int, rng *rand.Rand) (float64, error) {
-		d, r := point[0], point[1]
-		angle := 2*math.Pi*float64(k)/8 + 0.1
-		if mc {
-			angle = 2 * math.Pi * rng.Float64()
-		}
-		target := geom.Polar(d, angle)
-		bound := bounds.SearchTimeBound(d, r)
-		res, err := cfg.Cache.Search("alg4", algo.CumulativeSearch, target, r,
-			sim.Options{Horizon: 2*bound + 1000})
-		if err != nil {
-			return 0, fmt.Errorf("E1 d=%v r=%v: %w", d, r, err)
-		}
-		if !res.Met {
-			return 0, fmt.Errorf("E1 d=%v r=%v dir %d: target not found", d, r, k)
-		}
-		return res.Time, nil
-	}, cfg.sweepOptions())
+	var times []float64
+	var err error
+	if cfg.Batch {
+		// Batched path: each (d, r) cell's direction fan shares the alg4
+		// program, so the whole row runs through one sim.SearchBatch call.
+		times, err = sweep.RunBatched(grid.Size()*dirs, dirs,
+			func(indices []int, rng func(int) *rand.Rand) ([]float64, error) {
+				return e1BatchRow(grid, dirs, mc, cfg, indices, rng)
+			}, cfg.sweepOptions())
+	} else {
+		times, err = sweep.RunGrid(grid, dirs, func(point []float64, k int, rng *rand.Rand) (float64, error) {
+			d, r := point[0], point[1]
+			angle := 2*math.Pi*float64(k)/8 + 0.1
+			if mc {
+				angle = 2 * math.Pi * rng.Float64()
+			}
+			target := geom.Polar(d, angle)
+			bound := bounds.SearchTimeBound(d, r)
+			res, err := cfg.Cache.Search("alg4", algo.CumulativeSearch, target, r,
+				sim.Options{Horizon: 2*bound + 1000})
+			if err != nil {
+				return 0, fmt.Errorf("E1 d=%v r=%v: %w", d, r, err)
+			}
+			if !res.Met {
+				return 0, fmt.Errorf("E1 d=%v r=%v dir %d: target not found", d, r, k)
+			}
+			return res.Time, nil
+		}, cfg.sweepOptions())
+	}
 	if err != nil {
 		return t, err
 	}

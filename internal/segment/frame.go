@@ -1,0 +1,54 @@
+package segment
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Frame is a reusable frame transform: the affine map and clock dilation of
+// Transformed with the operator norm computed once at construction instead of
+// once per segment. The batch kernels apply one Frame to every segment of a
+// shared program tape, so caching ‖m.M‖₂ here amortizes the dominant
+// per-segment transform cost across the whole tape. OperatorNorm is
+// deterministic, so a Frame-applied segment is bit-identical to
+// seg.Transformed(m, timeScale).
+type Frame struct {
+	m      geom.Affine
+	tau    float64
+	opNorm float64
+}
+
+// NewFrame builds a Frame for the affine map m and time dilation timeScale.
+// It panics on a non-positive time scale, mirroring Transformed.
+func NewFrame(m geom.Affine, timeScale float64) Frame {
+	if timeScale <= 0 {
+		panic(fmt.Sprintf("segment: Transformed with non-positive time scale %v", timeScale))
+	}
+	return Frame{m: m, tau: timeScale, opNorm: m.M.OperatorNorm()}
+}
+
+// Apply returns the segment under the frame — exactly Transformed(m, tau)
+// with the cached operator norm. It panics when a frame transform is already
+// present or the segment carries a time dilation, like Transformed.
+func (f Frame) Apply(s *Seg) Seg {
+	if s.framed {
+		panic("segment: Seg already carries a frame transform")
+	}
+	if s.mod != 0 {
+		panic("segment: frame transform under an existing time dilation")
+	}
+	out := *s
+	out.framed = true
+	out.m = f.m
+	out.tau = f.tau
+	out.opNorm = f.opNorm
+	return out
+}
+
+// Scale maps a raw (payload-local) duration and path length through the
+// frame: dur·tau and length·opNorm, the same multiplications — in the same
+// order — DurationAndLength applies to a framed, unmodulated segment.
+func (f Frame) Scale(dur, length float64) (float64, float64) {
+	return dur * f.tau, length * f.opNorm
+}

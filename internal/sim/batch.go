@@ -1,0 +1,383 @@
+package sim
+
+import (
+	"fmt"
+
+	"math"
+
+	"repro/internal/batch"
+	"repro/internal/frame"
+	"repro/internal/geom"
+	"repro/internal/motion"
+	"repro/internal/segment"
+	"repro/internal/trajectory"
+)
+
+// This file holds the batched (struct-of-arrays) counterparts of Search and
+// FirstMeeting. Both walk one shared program stream once per batch instead
+// of once per instance, and are bit-identical to the scalar paths per lane:
+//
+//   - SearchBatch exploits the search walk's lockstep invariant — the scalar
+//     walk always advances t to the current segment's end, so every
+//     still-active lane of a shared program sits at the same absolute time.
+//     One segment pull, one DurationAndLength, one odometer step and one
+//     Mover.Set therefore serve all lanes, and per-lane work reduces to the
+//     closed-form contact check, evaluated by motion.StaticSweep as a tight
+//     loop with the kind switch hoisted out.
+//
+//   - FirstMeetingBatch/RendezvousBatch interleave two streams per lane
+//     (the frame dilation shifts segment boundaries per lane), so lanes walk
+//     independently — but over one shared tape of raw segments with the raw
+//     duration/length computed once, and with each lane's frame operator
+//     norm computed once per lane instead of once per segment
+//     (segment.Frame). Generation, trig, and cursor overhead amortize across
+//     the batch.
+
+// SearchBatch runs Search for every lane of ln (target TX/TY, radius R,
+// horizon Horizon) against one shared program. Results and errors are
+// per lane and bit-identical to the scalar Search calls; opt.Horizon is
+// ignored in favour of the per-lane horizons.
+func SearchBatch(program trajectory.Source, ln *batch.Lanes, opt Options) ([]Result, []error) {
+	n := ln.Len()
+	results := make([]Result, n)
+	errs := make([]error, n)
+
+	// Per-lane constants. b0 is the target as the scalar static Mover
+	// evaluates it — Static(p).At(t) = {p.X+0, p.Y+0} for any finite t ≥ 0 —
+	// hoisted out of the walk entirely.
+	b0x := make([]float64, n)
+	b0y := make([]float64, n)
+	mopts := make([]motion.Options, n)
+	active := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if ln.Horizon[i] <= 0 || ln.R[i] <= 0 {
+			errs[i] = ErrBadOptions
+			continue
+		}
+		b0x[i] = ln.TX[i] + 0
+		b0y[i] = ln.TY[i] + 0
+		mopts[i] = detectOptions(opt, ln.R[i])
+		active = append(active, i)
+	}
+
+	// Shared walk state: identical to searchWalk minus the per-lane fields.
+	// All active lanes share t (the lockstep invariant), the odometer, and
+	// the current segment's Mover.
+	var (
+		odo      odometer
+		mov      motion.Mover
+		lastSeg  segment.Seg
+		haveSeg  bool
+		t, start float64
+	)
+	for seg := range program {
+		if len(active) == 0 {
+			return results, errs
+		}
+		dur, plen := seg.DurationAndLength()
+		segStart := start
+		start = segStart + dur
+		lastSeg, haveSeg = seg, true
+		if dur == 0 {
+			continue // a walker never surfaces zero-duration segments
+		}
+		odo.observe(segStart, dur, plen)
+		mov.Set(&seg, segStart, dur)
+		sw := mov.StaticSweep(t)
+
+		// Compact the active set in place: kept aliases active's array, and
+		// only writes slots already read.
+		kept := active[:0]
+		switch sw.Kind() {
+		case motion.SweepLinear:
+			for _, i := range active {
+				tEnd := math.Min(ln.Horizon[i], start)
+				results[i].Intervals++
+				hit, found := sw.LinearAt(geom.Vec{X: b0x[i], Y: b0y[i]}, ln.R[i], tEnd)
+				if found {
+					finishSearchMet(&results[i], &odo, &mov, hit, b0x[i], b0y[i])
+					continue
+				}
+				if tEnd >= ln.Horizon[i] {
+					finishSearchHorizon(&results[i], &odo, &mov, ln.Horizon[i], ln.TX[i], ln.TY[i])
+					continue
+				}
+				kept = append(kept, i)
+			}
+		case motion.SweepCircular:
+			for _, i := range active {
+				tEnd := math.Min(ln.Horizon[i], start)
+				results[i].Intervals++
+				hit, found := sw.CircularAt(geom.Vec{X: ln.TX[i], Y: ln.TY[i]}, ln.R[i], tEnd)
+				if found {
+					finishSearchMet(&results[i], &odo, &mov, hit, b0x[i], b0y[i])
+					continue
+				}
+				if tEnd >= ln.Horizon[i] {
+					finishSearchHorizon(&results[i], &odo, &mov, ln.Horizon[i], ln.TX[i], ln.TY[i])
+					continue
+				}
+				kept = append(kept, i)
+			}
+		default:
+			for _, i := range active {
+				tEnd := math.Min(ln.Horizon[i], start)
+				results[i].Intervals++
+				hit, found, err := sw.FallbackAt(geom.Vec{X: ln.TX[i], Y: ln.TY[i]}, ln.R[i], tEnd, mopts[i])
+				if err != nil {
+					results[i] = Result{}
+					errs[i] = fmt.Errorf("interval [%v, %v]: %w", t, tEnd, err)
+					continue
+				}
+				if found {
+					finishSearchMet(&results[i], &odo, &mov, hit, b0x[i], b0y[i])
+					continue
+				}
+				if tEnd >= ln.Horizon[i] {
+					finishSearchHorizon(&results[i], &odo, &mov, ln.Horizon[i], ln.TX[i], ln.TY[i])
+					continue
+				}
+				kept = append(kept, i)
+			}
+		}
+		active = kept
+		t = start
+	}
+
+	if len(active) > 0 {
+		// Program exhausted before every horizon: the robot parks at its
+		// final position and each remaining lane sees a constant gap.
+		var finalPos geom.Vec
+		if haveSeg {
+			finalPos = lastSeg.End()
+		}
+		odo.halt()
+		mov.SetStatic(finalPos)
+		fp := mov.At(t)   // = {finalPos.X+0, finalPos.Y+0}, shared
+		dist := odo.at(t) // post-halt: the full traveled length, shared
+		for _, i := range active {
+			res := &results[i]
+			res.Intervals++
+			gap := fp.Dist(geom.Vec{X: ln.TX[i], Y: ln.TY[i]})
+			res.DistanceA, res.DistanceB = dist, 0
+			if gap <= ln.R[i] {
+				res.Met = true
+				res.Time = t
+				res.WhereA = fp
+				res.WhereB = geom.Vec{X: b0x[i], Y: b0y[i]}
+				res.Gap = res.WhereA.Dist(res.WhereB)
+			} else {
+				res.Gap = gap
+			}
+		}
+	}
+	return results, errs
+}
+
+// finishSearchMet fills lane res for a contact at hit, exactly like the
+// scalar met() with the target's static mover.
+func finishSearchMet(res *Result, odo *odometer, mov *motion.Mover, hit, b0x, b0y float64) {
+	res.DistanceA, res.DistanceB = odo.at(hit), 0
+	res.Met = true
+	res.Time = hit
+	res.WhereA = mov.At(hit)
+	res.WhereB = geom.Vec{X: b0x, Y: b0y}
+	res.Gap = res.WhereA.Dist(res.WhereB)
+}
+
+// finishSearchHorizon fills lane res for a horizon reached inside the current
+// segment; tx/ty are the raw target (the scalar gap is measured against it).
+func finishSearchHorizon(res *Result, odo *odometer, mov *motion.Mover, horizon, tx, ty float64) {
+	res.Gap = mov.At(horizon).Dist(geom.Vec{X: tx, Y: ty})
+	res.DistanceA, res.DistanceB = odo.at(horizon), 0
+}
+
+// tape materializes a shared program lazily: segments are pulled from one
+// cursor on demand and kept, with the raw payload duration/length computed
+// once per segment — the quantities every lane's framed walk rescales with
+// two multiplications (segment.Frame.Scale).
+type tape struct {
+	cur  trajectory.Cursor
+	segs []segment.Seg
+	durs []float64
+	lens []float64
+	done bool
+}
+
+func (tp *tape) init(src trajectory.Source) { tp.cur.Init(src) }
+func (tp *tape) close()                     { tp.cur.Close() }
+
+// get ensures segment i is materialized, reporting false when the source is
+// exhausted before it.
+func (tp *tape) get(i int) bool {
+	for len(tp.segs) <= i {
+		if tp.done {
+			return false
+		}
+		seg, ok := tp.cur.Next()
+		if !ok {
+			tp.done = true
+			return false
+		}
+		dur, length := seg.DurationAndLength()
+		tp.segs = append(tp.segs, seg)
+		tp.durs = append(tp.durs, dur)
+		tp.lens = append(tp.lens, length)
+	}
+	return true
+}
+
+// tapeStream is one robot's half of a per-lane merged walk over a shared
+// tape: the exact state machine of stream (see sim.go), with the cursor pull
+// replaced by a tape index plus a per-lane frame application.
+type tapeStream struct {
+	tp       *tape
+	fr       segment.Frame
+	idx      int
+	seg      segment.Seg
+	segDur   float64
+	segLen   float64
+	start    float64
+	has      bool
+	finalPos geom.Vec
+	odo      odometer
+	mov      motion.Mover
+	end      float64
+}
+
+// reset re-aims the stream at the tape under fr and pulls its first segment.
+func (s *tapeStream) reset(tp *tape, fr segment.Frame) {
+	*s = tapeStream{tp: tp, fr: fr}
+	s.next()
+}
+
+func (s *tapeStream) next() {
+	if s.has {
+		s.start += s.segDur
+	}
+	if !s.tp.get(s.idx) {
+		if s.has {
+			s.finalPos = s.seg.End()
+		}
+		s.has = false
+		return
+	}
+	s.seg = s.fr.Apply(&s.tp.segs[s.idx])
+	s.segDur, s.segLen = s.fr.Scale(s.tp.durs[s.idx], s.tp.lens[s.idx])
+	s.idx++
+	s.has = true
+}
+
+// motionAt mirrors stream.motionAt exactly.
+func (s *tapeStream) motionAt(t float64) {
+	advanced := false
+	for s.has && s.start+s.segDur <= t {
+		s.next()
+		advanced = true
+	}
+	if !s.has {
+		s.odo.halt()
+		if advanced || s.end != math.Inf(1) {
+			s.mov.SetStatic(s.finalPos)
+			s.end = math.Inf(1)
+		}
+		return
+	}
+	s.odo.observe(s.start, s.segDur, s.segLen)
+	if advanced || s.end == 0 {
+		s.mov.Set(&s.seg, s.start, s.segDur)
+		s.end = s.start + s.segDur
+	}
+}
+
+// firstMeetingTape is FirstMeeting over two tapeStreams (already reset);
+// the loop body is identical.
+func firstMeetingTape(sa, sb *tapeStream, r float64, opt Options) (Result, error) {
+	mopt := detectOptions(opt, r)
+	var res Result
+	t := 0.0
+	for t < opt.Horizon {
+		sa.motionAt(t)
+		sb.motionAt(t)
+
+		intervalEnd := math.Min(opt.Horizon, math.Min(sa.end, sb.end))
+		if math.IsInf(sa.end, 1) && math.IsInf(sb.end, 1) {
+			res.Intervals++
+			gap := sa.mov.At(t).Dist(sb.mov.At(t))
+			res.DistanceA, res.DistanceB = sa.odo.at(t), sb.odo.at(t)
+			if gap <= r {
+				return met(res, &sa.mov, &sb.mov, t), nil
+			}
+			res.Gap = gap
+			return res, nil
+		}
+
+		res.Intervals++
+		hit, found, err := motion.Contact(&sa.mov, &sb.mov, r, t, intervalEnd, mopt)
+		if err != nil {
+			return Result{}, fmt.Errorf("interval [%v, %v]: %w", t, intervalEnd, err)
+		}
+		if found {
+			res.DistanceA, res.DistanceB = sa.odo.at(hit), sb.odo.at(hit)
+			return met(res, &sa.mov, &sb.mov, hit), nil
+		}
+		t = intervalEnd
+	}
+	res.Gap = sa.mov.At(opt.Horizon).Dist(sb.mov.At(opt.Horizon))
+	res.DistanceA, res.DistanceB = sa.odo.at(opt.Horizon), sb.odo.at(opt.Horizon)
+	return res, nil
+}
+
+// FirstMeetingBatch runs FirstMeeting for every rendezvous lane of ln
+// against one shared program: lane i meets the reference-frame robot from
+// the origin with the (V,Tau,Phi,Chi)-framed robot from displacement
+// (TX,TY), radius R, horizon Horizon. It checks per-lane horizon/radius like
+// FirstMeeting but does not validate the attributes (see RendezvousBatch);
+// results and errors are bit-identical to the scalar calls.
+func FirstMeetingBatch(program trajectory.Source, ln *batch.Lanes, opt Options) ([]Result, []error) {
+	return meetingBatch(program, ln, opt, false)
+}
+
+// RendezvousBatch runs Rendezvous for every lane of ln against one shared
+// program, validating each lane's instance first, exactly like the scalar
+// Rendezvous. Results and errors are per lane and bit-identical.
+func RendezvousBatch(program trajectory.Source, ln *batch.Lanes, opt Options) ([]Result, []error) {
+	return meetingBatch(program, ln, opt, true)
+}
+
+func meetingBatch(program trajectory.Source, ln *batch.Lanes, opt Options, validate bool) ([]Result, []error) {
+	n := ln.Len()
+	results := make([]Result, n)
+	errs := make([]error, n)
+
+	var tp tape
+	tp.init(program)
+	defer tp.close()
+
+	// The reference frame is lane-independent; its operator norm is exactly
+	// 1, so stream A's framed durations and lengths equal the raw tape's.
+	refFrame := segment.NewFrame(frame.Reference().Affine(geom.Zero), frame.Reference().Tau)
+
+	// Both walk states are reused across lanes: the batch adds no per-lane
+	// heap allocations beyond the shared tape.
+	var w struct{ sa, sb tapeStream }
+	for i := 0; i < n; i++ {
+		in := Instance{Attrs: ln.Attrs(i), D: ln.Target(i), R: ln.R[i]}
+		if validate {
+			if err := in.Validate(); err != nil {
+				errs[i] = err
+				continue
+			}
+		}
+		lopt := opt
+		lopt.Horizon = ln.Horizon[i]
+		if lopt.Horizon <= 0 || in.R <= 0 {
+			errs[i] = ErrBadOptions
+			continue
+		}
+		w.sa.reset(&tp, refFrame)
+		w.sb.reset(&tp, segment.NewFrame(in.Attrs.Affine(in.D), in.Attrs.Tau))
+		results[i], errs[i] = firstMeetingTape(&w.sa, &w.sb, in.R, lopt)
+	}
+	return results, errs
+}

@@ -13,6 +13,15 @@
 // pulls value-typed segments through trajectory.Cursor — an explicit
 // resumable cursor over each stream — instead of iter.Pull coroutines. The
 // per-segment motions live in caller-owned motion.Mover storage.
+//
+// For whole grid rows of instances sharing one algorithm shape, the batched
+// SoA kernels (SearchBatch, RendezvousBatch, FirstMeetingBatch over
+// batch.Lanes) amortize segment generation across all lanes: SearchBatch
+// walks the shared program once, hoisting the per-segment motion setup out
+// of the lane loop and reducing per-lane work to a closed-form contact test;
+// the rendezvous variants record the generated stream into a tape replayed
+// per lane. Results are bit-identical to the scalar entry points, lane for
+// lane — pinned by differential tests and FuzzBatchMatchesScalar.
 package sim
 
 import (
