@@ -4,7 +4,8 @@
 # gate (TestSweepWorkersGate — BenchmarkSweepWorkersMax must beat
 # BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners), and the
 # batch-kernel speedup gate (TestGridBatchSpeedupGate — sim.SearchBatch must
-# beat the scalar path ≥3× on a 64-lane grid row, bit-identically).
+# beat the scalar path ≥3× on a 64-lane grid row, bit-identically), and the
+# sampler convergence smoke (convcheck — stratified error ≤ pseudo error).
 #
 # `make profile` records CPU/heap profiles of the hot benchmarks into
 # profiles/; inspect with `go tool pprof -top profiles/cpu.prof` (or
@@ -17,7 +18,7 @@ FUZZTIME ?= 10s
 # time; without it benchmarks run the default 1s per benchmark.
 BENCHTIME := $(if $(QUICK),100x,1s)
 
-.PHONY: ci vet build test race gate batchgate bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
+.PHONY: ci vet build test race gate batchgate convcheck bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
 
 # loadcheck proves the rvserved serving path under real load: it builds the
 # daemon, boots it on an ephemeral port, drives LOADCLIENTS concurrent
@@ -33,7 +34,7 @@ loadcheck:
 	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
 	$(GO) run ./cmd/loadcheck -server "$$tmp/rvserved" -clients $(LOADCLIENTS) -duration $(LOADDURATION)
 
-ci: vet build race gate batchgate
+ci: vet build race gate batchgate convcheck
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +55,14 @@ gate:
 # their bit-identity) — see batch_gate_test.go.
 batchgate:
 	$(GO) test -run TestGridBatchSpeedupGate -count 1 -v .
+
+# convcheck is the sampler-API smoke: the CONV convergence experiment on a
+# small deterministic axis must show the stratified estimator at or below
+# the pseudo baseline's error at the largest n (see
+# internal/experiments/convergence.go; the recorded full table lives in
+# BENCH_sim.json under "convergence").
+convcheck:
+	$(GO) test -run 'TestConvergence' -count 1 -v ./internal/experiments
 
 # profile captures CPU and heap profiles of the search hot path and the
 # batch-vs-scalar grid row benchmarks. One-liner to read them:
@@ -147,12 +156,13 @@ shardcheck:
 	grep -q "retrying" "$$tmp/straggler.log"; \
 	echo "shard/merge output is byte-identical to the single-process run (incl. streaming merge with a retried straggler)"
 
-# Short fuzz passes over the property-based targets (grid-spec and
-# shard-spec parsing, τ-decomposition, Lambert W, and the batch-vs-scalar
-# kernel differential). Override FUZZTIME for shorter/longer passes, e.g.
-# `make fuzz FUZZTIME=5s`.
+# Short fuzz passes over the property-based targets (grid-spec, shard-spec
+# and sampler-name parsing, τ-decomposition, Lambert W, and the
+# batch-vs-scalar kernel differential). Override FUZZTIME for
+# shorter/longer passes, e.g. `make fuzz FUZZTIME=5s`.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run NONE -fuzz FuzzParseShard -fuzztime $(FUZZTIME) ./internal/sweep
+	$(GO) test -run NONE -fuzz FuzzParseSampler -fuzztime $(FUZZTIME) ./internal/sampler
 	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime $(FUZZTIME) ./internal/bounds
 	$(GO) test -run NONE -fuzz FuzzBatchMatchesScalar -fuzztime $(FUZZTIME) ./internal/sim

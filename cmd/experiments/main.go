@@ -7,6 +7,7 @@
 // Usage:
 //
 //	experiments [-run ID] [-markdown] [-workers N] [-seed S] [-samples K]
+//	            [-sampler NAME]
 //	            [-batch=false] [-cache] [-cachefile F] [-cachesize N]
 //	            [-cachewarm F]... [-v]
 //	            [-grid spec]... [-gridalgo A]
@@ -23,6 +24,12 @@
 //	-samples K    K > 0 switches the sampling-aware experiments (E1) and
 //	              grid sweeps to K random draws per grid cell, with
 //	              summary statistics
+//	-sampler NAME draw source for the Monte-Carlo sweeps: "pseudo" (the
+//	              default, bit-identical to all previously recorded
+//	              tables), or a low-discrepancy kind — "stratified",
+//	              "halton", "sobol" — which reaches a given estimator
+//	              error at far fewer -samples (see the CONV experiment).
+//	              Deterministic (non -samples) runs ignore it
 //	-batch        evaluate batch-eligible sweeps (E1's direction fans and
 //	              -grid rendezvous sweeps) through the SoA batch kernels,
 //	              which amortize trajectory generation across whole grid
@@ -112,6 +119,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/experiments"
+	"repro/internal/sampler"
 	"repro/internal/sweep"
 )
 
@@ -137,6 +145,7 @@ func run() int {
 		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
 		seed      = flag.Int64("seed", 0, "base seed for Monte-Carlo sampling")
 		samples   = flag.Int("samples", 0, "Monte-Carlo draws per grid cell (0 = deterministic grids)")
+		samplerNm = flag.String("sampler", "", `Monte-Carlo draw source: pseudo (default), stratified, halton, or sobol`)
 		batch     = flag.Bool("batch", true, "evaluate batch-eligible sweeps through the SoA batch kernels (identical output)")
 		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
 		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
@@ -159,7 +168,11 @@ func run() int {
 		return 1
 	}
 
-	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples, Batch: *batch}
+	samplerKind, err := sampler.ParseKind(*samplerNm)
+	if err != nil {
+		return fail(err)
+	}
+	cfg := experiments.Config{Workers: *workers, Seed: *seed, Samples: *samples, Sampler: samplerKind, Batch: *batch}
 
 	// Shard/merge setup. The scope fingerprint ties shard files to the
 	// workload that produced them (suite vs. a specific grid).
@@ -249,8 +262,8 @@ func run() int {
 		if mergeSet.Len() == 0 {
 			return fail(errors.New("no shard files to merge"))
 		}
-		seedSet, samplesSet := explicitSet()
-		if err := adoptShardMeta(&cfg, mergeSet.Metas()[0], scope, seedSet, samplesSet); err != nil {
+		seedSet, samplesSet, samplerSet := explicitSet()
+		if err := adoptShardMeta(&cfg, mergeSet.Metas()[0], scope, seedSet, samplesSet, samplerSet); err != nil {
 			return fail(err)
 		}
 		if missing := mergeSet.Missing(); len(missing) > 0 {
@@ -323,16 +336,18 @@ func shardCachePath(recordPath string) string {
 // explicit "-seed 0" — a claim about the workload that must be checked
 // against the shard files — from an omitted flag, which adopts their
 // recorded value.
-func explicitSet() (seedSet, samplesSet bool) {
+func explicitSet() (seedSet, samplesSet, samplerSet bool) {
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "seed":
 			seedSet = true
 		case "samples":
 			samplesSet = true
+		case "sampler":
+			samplerSet = true
 		}
 	})
-	return seedSet, samplesSet
+	return seedSet, samplesSet, samplerSet
 }
 
 // adoptShardMeta reconciles the merge invocation's flags with the shard
@@ -341,7 +356,7 @@ func explicitSet() (seedSet, samplesSet bool) {
 // recorded values so a bare `-merge` just works. seedSet/samplesSet come
 // from explicitSet — the flag values alone cannot distinguish an explicit
 // zero from an omitted flag.
-func adoptShardMeta(cfg *experiments.Config, meta experiments.ShardMeta, scope string, seedSet, samplesSet bool) error {
+func adoptShardMeta(cfg *experiments.Config, meta experiments.ShardMeta, scope string, seedSet, samplesSet, samplerSet bool) error {
 	if meta.Scope != scope {
 		return fmt.Errorf("shard files were produced for scope %q but this invocation is %q (pass the same -grid/-gridalgo flags)",
 			meta.Scope, scope)
@@ -352,7 +367,15 @@ func adoptShardMeta(cfg *experiments.Config, meta experiments.ShardMeta, scope s
 	if samplesSet && cfg.Samples != meta.Samples {
 		return fmt.Errorf("-samples %d conflicts with the shard files' samples %d", cfg.Samples, meta.Samples)
 	}
-	cfg.Seed, cfg.Samples = meta.Seed, meta.Samples
+	// An omitted meta field is the pseudo sampler (pre-sampler shard files).
+	recorded, err := sampler.ParseKind(meta.Sampler)
+	if err != nil {
+		return fmt.Errorf("shard files carry unknown sampler %q", meta.Sampler)
+	}
+	if samplerSet && cfg.Sampler != recorded {
+		return fmt.Errorf("-sampler %s conflicts with the shard files' sampler %s", cfg.Sampler, recorded)
+	}
+	cfg.Seed, cfg.Samples, cfg.Sampler = meta.Seed, meta.Samples, recorded
 	return nil
 }
 

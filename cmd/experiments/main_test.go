@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sampler"
 )
 
 func TestShardCachePath(t *testing.T) {
@@ -24,10 +25,11 @@ func TestShardCachePath(t *testing.T) {
 }
 
 // TestAdoptShardMeta pins the flag-reconciliation rules of a merge run: an
-// omitted -seed/-samples adopts the shard files' recorded value, while an
-// explicitly passed one — including an explicit zero, which the flag value
-// alone cannot distinguish from "omitted" — must match or the merge is
-// rejected.
+// omitted -seed/-samples/-sampler adopts the shard files' recorded value,
+// while an explicitly passed one — including an explicit zero (or explicit
+// "pseudo"), which the flag value alone cannot distinguish from "omitted"
+// — must match or the merge is rejected. Shard files without a sampler
+// field (pre-sampler format) are the pseudo sampler.
 func TestAdoptShardMeta(t *testing.T) {
 	meta := experiments.ShardMeta{
 		Format: experiments.ShardFormat, Shard: "0/2",
@@ -36,14 +38,19 @@ func TestAdoptShardMeta(t *testing.T) {
 	zeroMeta := experiments.ShardMeta{
 		Format: experiments.ShardFormat, Shard: "0/2", Scope: "suite",
 	}
+	sobolMeta := meta
+	sobolMeta.Sampler = "sobol"
+	badMeta := meta
+	badMeta.Sampler = "mersenne"
 	cases := []struct {
-		name                string
-		meta                experiments.ShardMeta
-		cfg                 experiments.Config
-		seedSet, samplesSet bool
-		wantErr             string
-		wantSeed            int64
-		wantSamples         int
+		name                            string
+		meta                            experiments.ShardMeta
+		cfg                             experiments.Config
+		seedSet, samplesSet, samplerSet bool
+		wantErr                         string
+		wantSeed                        int64
+		wantSamples                     int
+		wantSampler                     sampler.Kind
 	}{
 		{name: "adopt both when unset", meta: meta, wantSeed: 7, wantSamples: 4},
 		{name: "explicit match passes", meta: meta,
@@ -59,13 +66,28 @@ func TestAdoptShardMeta(t *testing.T) {
 		{name: "unset zero adopts silently", meta: meta,
 			cfg: experiments.Config{}, wantSeed: 7, wantSamples: 4},
 		{name: "scope mismatch", meta: meta, wantErr: "scope"},
+		{name: "omitted sampler field adopts as pseudo", meta: meta,
+			wantSeed: 7, wantSamples: 4, wantSampler: sampler.Pseudo},
+		{name: "recorded sampler adopted when unset", meta: sobolMeta,
+			wantSeed: 7, wantSamples: 4, wantSampler: sampler.Sobol},
+		{name: "explicit sampler match passes", meta: sobolMeta,
+			cfg: experiments.Config{Seed: 7, Samples: 4, Sampler: sampler.Sobol},
+			seedSet: true, samplesSet: true, samplerSet: true,
+			wantSeed: 7, wantSamples: 4, wantSampler: sampler.Sobol},
+		{name: "explicit sampler conflict", meta: sobolMeta,
+			cfg: experiments.Config{Sampler: sampler.Halton}, samplerSet: true,
+			wantErr: "-sampler halton conflicts"},
+		{name: "explicit pseudo conflicts with sobol files", meta: sobolMeta,
+			samplerSet: true, wantErr: "-sampler pseudo conflicts"},
+		{name: "unknown recorded sampler rejected", meta: badMeta,
+			wantErr: `unknown sampler "mersenne"`},
 	}
 	for _, tc := range cases {
 		scope := "suite"
 		if tc.wantErr == "scope" {
 			scope = "grid:search:v=1"
 		}
-		err := adoptShardMeta(&tc.cfg, tc.meta, scope, tc.seedSet, tc.samplesSet)
+		err := adoptShardMeta(&tc.cfg, tc.meta, scope, tc.seedSet, tc.samplesSet, tc.samplerSet)
 		if tc.wantErr != "" {
 			if err == nil || !strings.Contains(err.Error(), strings.TrimSuffix(tc.wantErr, "")) {
 				t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
@@ -76,9 +98,9 @@ func TestAdoptShardMeta(t *testing.T) {
 			t.Errorf("%s: unexpected error %v", tc.name, err)
 			continue
 		}
-		if tc.cfg.Seed != tc.wantSeed || tc.cfg.Samples != tc.wantSamples {
-			t.Errorf("%s: adopted (seed, samples) = (%d, %d), want (%d, %d)",
-				tc.name, tc.cfg.Seed, tc.cfg.Samples, tc.wantSeed, tc.wantSamples)
+		if tc.cfg.Seed != tc.wantSeed || tc.cfg.Samples != tc.wantSamples || tc.cfg.Sampler != tc.wantSampler {
+			t.Errorf("%s: adopted (seed, samples, sampler) = (%d, %d, %s), want (%d, %d, %s)",
+				tc.name, tc.cfg.Seed, tc.cfg.Samples, tc.cfg.Sampler, tc.wantSeed, tc.wantSamples, tc.wantSampler)
 		}
 	}
 }

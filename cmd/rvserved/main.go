@@ -16,13 +16,21 @@
 //	POST /v1/sweep       a grid of rendezvous instances through the shared
 //	                     process-wide sweep pool
 //	                     {"axes":["v=0.25:1:0.25","d=1:3:1"],"algo":"search",
-//	                      "samples":3,"seed":7,"workers":0}
+//	                      "samples":3,"seed":7,"sampler":"sobol","workers":0}
+//	                     — "sampler" selects the Monte-Carlo draw source:
+//	                     "pseudo" (the default; omitted and "" mean the
+//	                     same), "stratified", "halton", or "sobol". Unknown
+//	                     names are a 400. The response echoes the resolved
+//	                     name in its "sampler" field. /v1/rendezvous accepts
+//	                     the same field for request parity (validated, but a
+//	                     single exact instance draws nothing)
 //	GET  /metrics        telemetry snapshot (flush-interval counters, gauges,
 //	                     latency timers, runtime stats) + coherent cache
 //	                     counters (hits+misses == lookups in every scrape).
 //	                     With batched sweeps enabled, batch.rows counts the
 //	                     SoA kernel calls and batch.lanes the instances they
-//	                     amortized (lanes/rows ≈ the amortization factor)
+//	                     amortized (lanes/rows ≈ the amortization factor);
+//	                     sampler.<name> counts sweep requests per draw source
 //	GET  /healthz        liveness: uptime, cache occupancy, pool size
 //
 // The singleflight result cache is the server's hot store: repeated queries

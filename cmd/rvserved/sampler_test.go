@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sampler"
+)
+
+// TestSweepSamplerField: the "sampler" request field selects the draw
+// source, the response echoes the resolved name, and the per-kind
+// telemetry counter moves. The default (omitted field) resolves to pseudo.
+func TestSweepSamplerField(t *testing.T) {
+	s, ts := newTestServer(t, cache.New(0), 1)
+
+	var res struct {
+		Sampler string `json:"sampler"`
+		Cells   []struct {
+			Met int `json:"met"`
+		} `json:"cells"`
+	}
+
+	status, body := post(t, ts, "/v1/sweep",
+		`{"axes":["v=0.25:0.5:0.25"],"samples":4,"seed":3,"sampler":"sobol"}`)
+	if status != http.StatusOK {
+		t.Fatalf("status %d, body %s", status, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampler != "sobol" {
+		t.Errorf("response sampler %q, want sobol", res.Sampler)
+	}
+	if got := s.samplerUse[sampler.Sobol].Total(); got != 1 {
+		t.Errorf("sampler.sobol counter %d, want 1", got)
+	}
+
+	status, body = post(t, ts, "/v1/sweep", `{"axes":["v=0.25:0.5:0.25"],"samples":2}`)
+	if status != http.StatusOK {
+		t.Fatalf("default-sampler sweep: status %d, body %s", status, body)
+	}
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Sampler != "pseudo" {
+		t.Errorf("default response sampler %q, want pseudo", res.Sampler)
+	}
+	if got := s.samplerUse[sampler.Pseudo].Total(); got != 1 {
+		t.Errorf("sampler.pseudo counter %d, want 1", got)
+	}
+}
+
+// TestSweepSamplerChangesEstimate: under a fixed seed, sobol draws differ
+// from pseudo draws, so the two sweeps are allowed to disagree — but both
+// must stay deterministic: repeating each request byte-identically repeats
+// its response body.
+func TestSweepSamplerDeterministic(t *testing.T) {
+	_, ts := newTestServer(t, cache.New(0), 2)
+	for _, req := range []string{
+		`{"axes":["v=0.25:0.5:0.25"],"samples":4,"seed":9,"sampler":"stratified"}`,
+		`{"axes":["v=0.25:0.5:0.25"],"samples":4,"seed":9,"sampler":"halton"}`,
+	} {
+		_, first := post(t, ts, "/v1/sweep", req)
+		_, again := post(t, ts, "/v1/sweep", req)
+		// elapsed_ms varies per run; compare everything else.
+		var a, b map[string]any
+		if err := json.Unmarshal(first, &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(again, &b); err != nil {
+			t.Fatal(err)
+		}
+		delete(a, "elapsed_ms")
+		delete(b, "elapsed_ms")
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Errorf("request %s not deterministic:\n%s\n%s", req, aj, bj)
+		}
+	}
+}
+
+// TestSamplerBadRequests: unknown sampler names are a 400 on both the sweep
+// and the point endpoint, with a JSON error naming the valid kinds.
+func TestSamplerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, cache.New(0), 1)
+	cases := []struct{ path, body string }{
+		{"/v1/sweep", `{"axes":["v=1"],"sampler":"mersenne"}`},
+		{"/v1/sweep", `{"axes":["v=1"],"sampler":"SOBOL"}`}, // names are exact
+		{"/v1/rendezvous", `{"v":0.5,"sampler":"mersenne"}`},
+	}
+	for _, tc := range cases {
+		status, body := post(t, ts, tc.path, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("POST %s %s: status %d (body %s), want 400", tc.path, tc.body, status, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("POST %s %s: body %q not a JSON error", tc.path, tc.body, body)
+		}
+	}
+
+	// A valid sampler on the point endpoint is accepted (parity, no draws).
+	status, body := post(t, ts, "/v1/rendezvous", `{"v":0.5,"sampler":"sobol"}`)
+	if status != http.StatusOK {
+		t.Errorf("point query with valid sampler: status %d, body %s", status, body)
+	}
+}
+
+// TestMetricsSamplerCounters: every sampler kind has a counter in the
+// /metrics snapshot, zero or not.
+func TestMetricsSamplerCounters(t *testing.T) {
+	_, ts := newTestServer(t, cache.New(0), 1)
+	if status, body := post(t, ts, "/v1/sweep",
+		`{"axes":["v=0.25:0.5:0.25"],"samples":2,"sampler":"halton"}`); status != http.StatusOK {
+		t.Fatalf("sweep failed: %d %s", status, body)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Counters map[string]struct {
+			Total uint64 `json:"total"`
+		} `json:"counters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range sampler.Kinds() {
+		if _, ok := snap.Counters["sampler."+kind.String()]; !ok {
+			t.Errorf("metrics missing counter sampler.%s", kind)
+		}
+	}
+	if got := snap.Counters["sampler.halton"].Total; got != 1 {
+		t.Errorf("sampler.halton = %d, want 1", got)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/sampler"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -56,6 +57,10 @@ type server struct {
 	requests, errs, rejected *telemetry.Counter
 	batchRows, batchLanes    *telemetry.Counter
 	sweepDepth               *telemetry.Gauge
+	// samplerUse counts sweep requests per draw source ("sampler.pseudo",
+	// "sampler.sobol", ...): the /metrics view of which estimators clients
+	// actually run.
+	samplerUse map[sampler.Kind]*telemetry.Counter
 }
 
 // newServer assembles the serving state. sweeps is the admission capacity of
@@ -79,6 +84,10 @@ func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps
 		batchRows:    reg.Counter("batch.rows"),
 		batchLanes:   reg.Counter("batch.lanes"),
 		sweepDepth:   reg.Gauge("sweep.in_flight"),
+		samplerUse:   make(map[sampler.Kind]*telemetry.Counter),
+	}
+	for _, kind := range sampler.Kinds() {
+		s.samplerUse[kind] = reg.Counter("sampler." + kind.String())
 	}
 	telemetry.AttachMonitor(reg, s.mon)
 	s.sweepDepth.Set(0)
@@ -248,9 +257,16 @@ func (s *server) handleRendezvous(w http.ResponseWriter, r *http.Request) error 
 		pointParams
 		Algo    string   `json:"algo,omitempty"`
 		Horizon *float64 `json:"horizon,omitempty"`
+		// Sampler is accepted for parity with /v1/sweep and validated the
+		// same way; a single exact instance draws nothing, so a valid name
+		// changes no bytes here.
+		Sampler string `json:"sampler,omitempty"`
 	}
 	if err := decode(r, &req); err != nil {
 		return err
+	}
+	if _, err := sampler.ParseKind(req.Sampler); err != nil {
+		return badRequest("%v", err)
 	}
 	in, err := req.instance()
 	if err != nil {
@@ -349,6 +365,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		Algo    string   `json:"algo,omitempty"`
 		Samples int      `json:"samples,omitempty"`
 		Seed    int64    `json:"seed,omitempty"`
+		Sampler string   `json:"sampler,omitempty"`
 		Workers int      `json:"workers,omitempty"`
 	}
 	if err := decode(r, &req); err != nil {
@@ -357,12 +374,16 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	if len(req.Axes) == 0 {
 		return badRequest("axes required (e.g. [\"v=0.25:1:0.25\"])")
 	}
+	samplerKind, err := sampler.ParseKind(req.Sampler)
+	if err != nil {
+		return badRequest("%v", err)
+	}
 	if req.Samples < 0 || req.Workers < 0 {
 		return badRequest("samples and workers must be non-negative")
 	}
-	grid, err := sweep.ParseGrid(req.Axes...)
-	if err != nil {
-		return badRequest("%v", err)
+	grid, gerr := sweep.ParseGrid(req.Axes...)
+	if gerr != nil {
+		return badRequest("%v", gerr)
 	}
 	samples := req.Samples
 	if samples < 1 {
@@ -388,9 +409,11 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 
+	s.samplerUse[samplerKind].Inc()
 	cfg := experiments.Config{
 		Seed:    req.Seed,
 		Samples: req.Samples,
+		Sampler: samplerKind,
 		Cache:   s.cache,
 		Monitor: s.mon,
 		Pool:    s.pool,

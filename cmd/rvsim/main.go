@@ -24,6 +24,11 @@
 //
 //	-samples int  Monte-Carlo instances (default 1 = the single instance)
 //	-seed int     base seed for the Monte-Carlo sweep (default 0)
+//	-sampler NAME draw source for the sweep: "pseudo" (default,
+//	              bit-identical to previous releases), "stratified",
+//	              "halton", or "sobol" — the low-discrepancy kinds spread
+//	              the sampled (φ, direction) pairs evenly and tighten the
+//	              meeting-fraction estimate at the same -samples
 //	-workers int  sweep worker-pool size: 0 = one per CPU, 1 = serial
 //	-batch        evaluate the sweep through the SoA batch kernel, which
 //	              amortizes trajectory generation across rows of samples
@@ -47,7 +52,6 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 
 	"repro"
@@ -57,6 +61,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/geom"
 	"repro/internal/plot"
+	"repro/internal/sampler"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trace"
@@ -83,12 +88,19 @@ func run() (code int) {
 		plotOut   = flag.Bool("plot", false, "print ASCII track and gap charts")
 		samples   = flag.Int("samples", 1, "Monte-Carlo instances with random φ and displacement direction (1 = single instance)")
 		seed      = flag.Int64("seed", 0, "base seed for the Monte-Carlo sweep")
+		samplerNm = flag.String("sampler", "", `Monte-Carlo draw source: pseudo (default), stratified, halton, or sobol`)
 		workers   = flag.Int("workers", 0, "sweep workers: 0 = one per CPU, 1 = serial (same output either way)")
 		batch     = flag.Bool("batch", true, "evaluate the Monte-Carlo sweep through the SoA batch kernel (identical output)")
 		useCache  = flag.Bool("cache", false, "memoize simulation results in memory")
 		cacheFile = flag.String("cachefile", "", "persist the result cache to this JSON-lines file (implies -cache)")
 	)
 	flag.Parse()
+
+	samplerKind, err := sampler.ParseKind(*samplerNm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rvsim:", err)
+		return 1
+	}
 
 	var memo *cache.Cache // nil (no caching) unless requested
 	if *cacheFile != "" {
@@ -137,7 +149,7 @@ func run() (code int) {
 		if *traceOut != "" || *plotOut {
 			fmt.Fprintln(os.Stderr, "rvsim: -trace/-plot apply to single instances only; ignored with -samples > 1")
 		}
-		return runMonteCarlo(memo, programID, mkProgram, in, *samples, *seed, *workers, *horizon, *batch)
+		return runMonteCarlo(memo, programID, mkProgram, in, *samples, *seed, samplerKind, *workers, *horizon, *batch)
 	}
 	program := mkProgram()
 
@@ -201,14 +213,17 @@ func run() (code int) {
 	return 0
 }
 
-// mcInstance derives sample i's randomised instance and horizon: the
-// orientation φ and the displacement direction (keeping |d|) are redrawn
-// from the sample's private RNG — the single definition both the scalar and
-// batched sweeps below share, so they are byte-identical for a fixed seed.
-func mcInstance(base rendezvous.Instance, dist float64, rng *rand.Rand, horizon float64) (rendezvous.Instance, float64) {
+// mcInstance derives sample i's randomised instance and horizon from its
+// draw handle: dimension 0 is the orientation φ, dimension 1 the
+// displacement direction (keeping |d|) — the single definition both the
+// scalar and batched sweeps below share, so they are byte-identical for a
+// fixed seed, and the fixed dimension order is what pins the default
+// pseudo stream to the historical rng.Float64() call order (see
+// TestMCInstanceDrawOrder).
+func mcInstance(base rendezvous.Instance, dist float64, d sampler.Draws, horizon float64) (rendezvous.Instance, float64) {
 	in := base
-	in.Attrs.Phi = 2 * math.Pi * rng.Float64()
-	in.D = geom.Polar(dist, 2*math.Pi*rng.Float64())
+	in.Attrs.Phi = 2 * math.Pi * d.Float64(0)
+	in.D = geom.Polar(dist, 2*math.Pi*d.Float64(1))
 	h := horizon
 	if h <= 0 {
 		h = 4 * rendezvous.RendezvousTimeBound(in)
@@ -228,26 +243,28 @@ func mcInstance(base rendezvous.Instance, dist float64, rng *rand.Rand, horizon 
 // -cachefile in particular — are served without re-simulating. With batch,
 // rows of samples evaluate through sim.RendezvousBatch, sharing one
 // trajectory stream per row; the printed output is identical either way.
-func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, workers int, horizon float64, batched bool) int {
+func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezvous.Trajectory, base rendezvous.Instance, samples int, seed int64, kind sampler.Kind, workers int, horizon float64, batched bool) int {
 	type outcome struct {
 		met  bool
 		time float64
 	}
 	dist := base.D.Norm()
-	sopt := sweep.Options{Workers: workers, BaseSeed: seed}
+	// The whole sweep is one estimate, so the sampler block spans all of it:
+	// a QMC kind stratifies the (φ, direction) draws across every sample.
+	sopt := sweep.Options{Workers: workers, BaseSeed: seed, Sampler: sampler.New(kind, samples)}
 	var results []outcome
 	var err error
 	if batched {
 		// Rows of up to 64 samples share one generated trajectory stream.
-		results, err = sweep.RunBatched(samples, 64,
-			func(indices []int, rng func(i int) *rand.Rand) ([]outcome, error) {
+		results, err = sweep.RunBatchedSampled(samples, 64,
+			func(indices []int, at func(i int) sampler.Draws) ([]outcome, error) {
 				out := make([]outcome, len(indices))
 				keys := make([]cache.Key, len(indices))
 				var lanes batch.Lanes
 				laneOf := make([]int, 0, len(indices))
 				phis := make([]float64, len(indices))
 				for k, i := range indices {
-					in, h := mcInstance(base, dist, rng(i), horizon)
+					in, h := mcInstance(base, dist, at(i), horizon)
 					phis[k] = in.Attrs.Phi
 					opt := rendezvous.Options{Horizon: h}
 					keys[k] = cache.RendezvousKey(programID, in, opt)
@@ -272,8 +289,8 @@ func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezv
 				return out, nil
 			}, sopt)
 	} else {
-		results, err = sweep.Run(samples, func(i int, rng *rand.Rand) (outcome, error) {
-			in, h := mcInstance(base, dist, rng, horizon)
+		results, err = sweep.RunSampled(samples, func(i int, d sampler.Draws) (outcome, error) {
+			in, h := mcInstance(base, dist, d, horizon)
 			res, err := memo.Rendezvous(programID, mkProgram, in, rendezvous.Options{Horizon: h})
 			if err != nil {
 				return outcome{}, fmt.Errorf("sample %d (φ=%.4g): %w", i, in.Attrs.Phi, err)
@@ -293,6 +310,9 @@ func runMonteCarlo(memo *cache.Cache, programID string, mkProgram func() rendezv
 	}
 	fmt.Printf("monte carlo: base attrs=%v |d|=%g r=%g, %d samples, seed %d\n",
 		base.Attrs, dist, base.R, samples, seed)
+	if kind != sampler.Pseudo {
+		fmt.Printf("sampler: %s\n", kind)
+	}
 	fmt.Printf("met: %d/%d\n", len(times), samples)
 	if len(times) > 0 {
 		fmt.Println("meeting times:", analysis.Summarize(times))

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/sampler"
+	"repro/internal/sweep"
+)
+
+// TestMCInstanceDrawOrder is the golden guard for rvsim's Monte-Carlo draw
+// order: under the default pseudo sampler, sample i's instance must consume
+// the sweep.Rand(seed, i) stream in the fixed historical order — first draw
+// φ, second draw the displacement direction. Reordering (or adding) draws
+// would silently re-randomize every recorded rvsim sweep, so this test pins
+// the exact bytes rather than just "two draws happened".
+func TestMCInstanceDrawOrder(t *testing.T) {
+	base := rendezvous.Instance{
+		Attrs: rendezvous.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: rendezvous.CCW},
+		D:     rendezvous.XY(1, 0),
+		R:     0.25,
+	}
+	const seed, samples = 7, 32
+	src := sampler.New(sampler.Pseudo, samples)
+	dist := base.D.Norm()
+	for i := 0; i < samples; i++ {
+		legacy := sweep.Rand(seed, i)
+		wantPhi := 2 * math.Pi * legacy.Float64()
+		wantDir := 2 * math.Pi * legacy.Float64()
+
+		in, h := mcInstance(base, dist, src.Draws(seed, i), 0)
+		if in.Attrs.Phi != wantPhi {
+			t.Fatalf("sample %d: phi = %v, want first legacy draw %v", i, in.Attrs.Phi, wantPhi)
+		}
+		wantD := in.D
+		gotX, gotY := wantD.X, wantD.Y
+		wx, wy := dist*math.Cos(wantDir), dist*math.Sin(wantDir)
+		if gotX != wx || gotY != wy {
+			t.Fatalf("sample %d: d = (%v,%v), want second legacy draw direction (%v,%v)", i, gotX, gotY, wx, wy)
+		}
+		if h <= 0 {
+			t.Fatalf("sample %d: non-positive horizon %v", i, h)
+		}
+	}
+}
+
+// TestMCInstanceHorizon: an explicit horizon passes through untouched; the
+// auto horizon is positive and finite.
+func TestMCInstanceHorizon(t *testing.T) {
+	base := rendezvous.Instance{
+		Attrs: rendezvous.Attributes{V: 0.5, Tau: 1, Phi: 0, Chi: rendezvous.CCW},
+		D:     rendezvous.XY(1, 0),
+		R:     0.25,
+	}
+	d := sampler.Default().Draws(1, 0)
+	if _, h := mcInstance(base, 1, d, 123); h != 123 {
+		t.Fatalf("explicit horizon rewritten to %v", h)
+	}
+	d = sampler.Default().Draws(1, 0)
+	if _, h := mcInstance(base, 1, d, 0); h <= 0 || math.IsInf(h, 1) {
+		t.Fatalf("auto horizon %v not positive finite", h)
+	}
+}

@@ -44,6 +44,15 @@ func All() []Runner {
 	}
 }
 
+// Extras returns the on-demand experiments: runnable through RunOneCfg
+// ("-run CONV") but not part of All(), so RunAll output — which recorded
+// goldens pin byte-for-byte — is unchanged.
+func Extras() []Runner {
+	return []Runner{
+		{"CONV", ConvergenceCfg},
+	}
+}
+
 // rowJob computes the formatted cells of one table row. The rng is the
 // job's private generator (see internal/sweep); deterministic grids ignore
 // it.
@@ -135,9 +144,11 @@ func RunOne(id string, w io.Writer, markdown bool) error {
 	return RunOneCfg(id, w, markdown, Config{})
 }
 
-// RunOneCfg is RunOne under an explicit execution config.
+// RunOneCfg is RunOne under an explicit execution config. It also resolves
+// the on-demand Extras() experiments (e.g. CONV), which RunAll deliberately
+// excludes.
 func RunOneCfg(id string, w io.Writer, markdown bool, cfg Config) error {
-	for _, r := range All() {
+	for _, r := range append(All(), Extras()...) {
 		if r.ID != id {
 			continue
 		}

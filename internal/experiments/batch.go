@@ -3,13 +3,13 @@ package experiments
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"repro/internal/algo"
 	"repro/internal/batch"
 	"repro/internal/bounds"
 	"repro/internal/cache"
 	"repro/internal/geom"
+	"repro/internal/sampler"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trajectory"
@@ -34,7 +34,7 @@ type gridOutcome struct {
 // gridBatchRow evaluates one batched row of SweepGrid: all samples of one
 // grid point (the row size is the sample count, so every lane shares the
 // point's parameters up to the sampled displacement direction).
-func gridBatchRow(grid sweep.Grid, names []string, samples int, programID string, program func() trajectory.Source, cfg Config, indices []int, rng func(int) *rand.Rand) ([]gridOutcome, error) {
+func gridBatchRow(grid sweep.Grid, names []string, samples int, programID string, program func() trajectory.Source, cfg Config, indices []int, at func(int) sampler.Draws) ([]gridOutcome, error) {
 	out := make([]gridOutcome, len(indices))
 	lerrs := make([]error, len(indices))
 	keys := make([]cache.Key, len(indices))
@@ -48,7 +48,7 @@ func gridBatchRow(grid sweep.Grid, names []string, samples int, programID string
 			continue
 		}
 		if cfg.Samples > 0 {
-			in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng(i).Float64())
+			in.D = geom.Polar(in.D.Norm(), 2*math.Pi*at(i).Float64(0))
 		}
 		opt := sim.Options{Horizon: RendezvousHorizon(in)}
 		keys[k] = cache.RendezvousKey(programID, in, opt)
@@ -87,7 +87,7 @@ func gridBatchRow(grid sweep.Grid, names []string, samples int, programID string
 
 // e1BatchRow evaluates one batched row of E1SearchScalingCfg: every target
 // direction of one (d, r) cell through a single sim.SearchBatch call.
-func e1BatchRow(grid sweep.Grid, dirs int, mc bool, cfg Config, indices []int, rng func(int) *rand.Rand) ([]float64, error) {
+func e1BatchRow(grid sweep.Grid, dirs int, mc bool, cfg Config, indices []int, at func(int) sampler.Draws) ([]float64, error) {
 	out := make([]float64, len(indices))
 	met := make([]bool, len(indices))
 	lerrs := make([]error, len(indices))
@@ -99,7 +99,7 @@ func e1BatchRow(grid sweep.Grid, dirs int, mc bool, cfg Config, indices []int, r
 		d, r := point[0], point[1]
 		angle := 2*math.Pi*float64(i%dirs)/8 + 0.1
 		if mc {
-			angle = 2 * math.Pi * rng(i).Float64()
+			angle = 2 * math.Pi * at(i).Float64(0)
 		}
 		target := geom.Polar(d, angle)
 		bound := bounds.SearchTimeBound(d, r)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/sampler"
 	"repro/internal/sweep"
 )
 
@@ -23,6 +24,13 @@ type Config struct {
 	// of their fixed deterministic sweep, and adds summary-statistic
 	// columns (min/mean/p90/max via internal/analysis).
 	Samples int
+	// Sampler selects the per-cell draw source for the Monte-Carlo sweeps:
+	// pseudo (the default, bit-identical to the original rand.Rand path) or
+	// one of the low-discrepancy kinds (stratified, halton, sobol), which
+	// trade i.i.d. draws for evenly spread ones and reach a given estimator
+	// error at substantially fewer samples (see the CONV experiment).
+	// Deterministic (non-MC) sweeps ignore it.
+	Sampler sampler.Kind
 	// Cache, when non-nil, memoizes simulation results across jobs,
 	// experiments, and re-runs (see internal/cache). Tables are
 	// byte-identical with the cache present or absent, warm or cold.
@@ -94,4 +102,12 @@ func (c Config) sweepOptions() sweep.Options {
 		opt.Batch = c.sweepNames.next()
 	}
 	return opt
+}
+
+// samplerSource resolves cfg.Sampler into a draw source whose block size
+// is the number of samples per estimate (the unit one QMC sequence should
+// stratify). Pseudo ignores the block, so the default path allocates
+// nothing new.
+func (c Config) samplerSource(block int) *sampler.Source {
+	return sampler.New(c.Sampler, block)
 }

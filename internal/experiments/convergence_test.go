@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+// TestConvergenceSmoke is the cheap CI gate on the sampler API's headline
+// claim: at the largest n of a small axis, the stratified estimator's error
+// must not exceed the pseudo baseline's. Everything is deterministic (seed
+// 0, fixed estimand), so this is a stable assertion, not a flaky
+// statistical one.
+func TestConvergenceSmoke(t *testing.T) {
+	cfg := Config{sweepNames: &batchCounter{prefix: "CONV"}}
+	const n, refN = 64, 512
+	ref, err := convEstimate(cfg, sampler.Sobol, refN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pseudo, err := convEstimate(cfg, sampler.Pseudo, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := convEstimate(cfg, sampler.Stratified, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pe, se := math.Abs(pseudo-ref), math.Abs(strat-ref)
+	if pe < se {
+		t.Errorf("pseudo error %.4f < stratified error %.4f at n=%d: the sampler API buys nothing", pe, se, n)
+	}
+}
+
+// TestConvergenceTableRenders: the CONV experiment runs end to end through
+// RunOneCfg on a small axis and renders a table with the per-kind error
+// columns and the sample-reduction notes.
+func TestConvergenceTableRenders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunOneCfg("CONV", &buf, false, Config{Samples: 32}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"err_pseudo", "err_stratified", "err_halton", "err_sobol"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("rendered CONV table missing column %s:\n%s", col, out)
+		}
+	}
+	if !strings.Contains(out, "reference E[min(T,H)]") {
+		t.Errorf("rendered CONV table missing the reference note:\n%s", out)
+	}
+}
+
+// TestConvergenceNotInSuite: CONV must stay out of All() — the RunAll
+// goldens pin the suite's output byte-for-byte.
+func TestConvergenceNotInSuite(t *testing.T) {
+	for _, r := range All() {
+		if r.ID == "CONV" {
+			t.Fatal("CONV is in All(); it must remain an on-demand extra")
+		}
+	}
+	found := false
+	for _, r := range Extras() {
+		if r.ID == "CONV" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("CONV missing from Extras()")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"strings"
 
 	"repro/internal/algo"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/feasibility"
 	"repro/internal/frame"
 	"repro/internal/geom"
+	"repro/internal/sampler"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trajectory"
@@ -117,6 +117,7 @@ type GridResult struct {
 	Algorithm string     `json:"algorithm"` // cache program identity ("alg4"/"alg7")
 	Points    int        `json:"points"`    // grid size (cells)
 	Samples   int        `json:"samples"`   // draws per point (≥ 1)
+	Sampler   string     `json:"sampler"`   // draw source name ("pseudo", "sobol", ...)
 	Cells     []GridCell `json:"cells"`
 }
 
@@ -162,37 +163,41 @@ func SweepGrid(specs []string, algoName string, cfg Config) (*GridResult, error)
 	if cfg.sweepNames == nil {
 		cfg.sweepNames = &batchCounter{prefix: "GRID"}
 	}
+	// The sampler's block is one grid point's sample fan: each cell's
+	// Monte-Carlo estimate gets its own stratified/low-discrepancy draw set.
+	sopt := cfg.sweepOptions()
+	sopt.Sampler = cfg.samplerSource(samples)
 	var raw []gridOutcome
 	if cfg.Batch {
 		// Batched path: every cell of the grid shares the algorithm's
 		// program shape, so whole rows (one grid point, all its samples)
 		// run through the SoA rendezvous kernel. Bytes are identical to the
 		// scalar path below.
-		raw, err = sweep.RunBatched(grid.Size()*samples, samples,
-			func(indices []int, rng func(int) *rand.Rand) ([]gridOutcome, error) {
-				return gridBatchRow(grid, names, samples, programID, program, cfg, indices, rng)
-			}, cfg.sweepOptions())
+		raw, err = sweep.RunBatchedSampled(grid.Size()*samples, samples,
+			func(indices []int, at func(int) sampler.Draws) ([]gridOutcome, error) {
+				return gridBatchRow(grid, names, samples, programID, program, cfg, indices, at)
+			}, sopt)
 	} else {
-		raw, err = sweep.RunGrid(grid, samples, func(point []float64, si int, rng *rand.Rand) (gridOutcome, error) {
+		raw, err = sweep.RunGridSampled(grid, samples, func(point []float64, si int, d sampler.Draws) (gridOutcome, error) {
 			in, err := applyGridPoint(names, point)
 			if err != nil {
 				return gridOutcome{}, fmt.Errorf("point %v: %w", point, err)
 			}
 			if cfg.Samples > 0 {
-				in.D = geom.Polar(in.D.Norm(), 2*math.Pi*rng.Float64())
+				in.D = geom.Polar(in.D.Norm(), 2*math.Pi*d.Float64(0))
 			}
 			res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in)})
 			if err != nil {
 				return gridOutcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
 			}
 			return gridOutcome{Met: res.Met, Time: res.Time}, nil
-		}, cfg.sweepOptions())
+		}, sopt)
 	}
 	if err != nil {
 		return nil, err
 	}
 
-	out := &GridResult{Axes: names, Algorithm: programID, Points: grid.Size(), Samples: samples}
+	out := &GridResult{Axes: names, Algorithm: programID, Points: grid.Size(), Samples: samples, Sampler: cfg.Sampler.String()}
 	out.Cells = make([]GridCell, grid.Size())
 	for ci := 0; ci < grid.Size(); ci++ {
 		times := make([]float64, 0, samples)
@@ -238,6 +243,11 @@ func RunGridCfg(w io.Writer, markdown bool, specs []string, algoName string, cfg
 	if cfg.Samples > 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf(
 			"Monte-Carlo displacement directions: %d per point, base seed %d", cfg.Samples, cfg.Seed))
+		// Only a non-default sampler earns a note: the default table bytes
+		// predate the sampler API and must not change.
+		if cfg.Sampler != sampler.Pseudo {
+			t.Notes = append(t.Notes, "Sampler: "+cfg.Sampler.String())
+		}
 	}
 	return renderTable(&t, w, markdown)
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/bounds"
 	"repro/internal/geom"
+	"repro/internal/sampler"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/trajectory"
@@ -43,21 +44,25 @@ func E1SearchScalingCfg(cfg Config) (Table, error) {
 	if mc {
 		dirs = cfg.Samples
 	}
+	// Each cell's direction fan is one sampler block, so a QMC sampler
+	// stratifies the per-cell angle draws independently.
+	sopt := cfg.sweepOptions()
+	sopt.Sampler = cfg.samplerSource(dirs)
 	var times []float64
 	var err error
 	if cfg.Batch {
 		// Batched path: each (d, r) cell's direction fan shares the alg4
 		// program, so the whole row runs through one sim.SearchBatch call.
-		times, err = sweep.RunBatched(grid.Size()*dirs, dirs,
-			func(indices []int, rng func(int) *rand.Rand) ([]float64, error) {
-				return e1BatchRow(grid, dirs, mc, cfg, indices, rng)
-			}, cfg.sweepOptions())
+		times, err = sweep.RunBatchedSampled(grid.Size()*dirs, dirs,
+			func(indices []int, at func(int) sampler.Draws) ([]float64, error) {
+				return e1BatchRow(grid, dirs, mc, cfg, indices, at)
+			}, sopt)
 	} else {
-		times, err = sweep.RunGrid(grid, dirs, func(point []float64, k int, rng *rand.Rand) (float64, error) {
+		times, err = sweep.RunGridSampled(grid, dirs, func(point []float64, k int, d2 sampler.Draws) (float64, error) {
 			d, r := point[0], point[1]
 			angle := 2*math.Pi*float64(k)/8 + 0.1
 			if mc {
-				angle = 2 * math.Pi * rng.Float64()
+				angle = 2 * math.Pi * d2.Float64(0)
 			}
 			target := geom.Polar(d, angle)
 			bound := bounds.SearchTimeBound(d, r)
@@ -70,7 +75,7 @@ func E1SearchScalingCfg(cfg Config) (Table, error) {
 				return 0, fmt.Errorf("E1 d=%v r=%v dir %d: target not found", d, r, k)
 			}
 			return res.Time, nil
-		}, cfg.sweepOptions())
+		}, sopt)
 	}
 	if err != nil {
 		return t, err
@@ -97,6 +102,9 @@ func E1SearchScalingCfg(cfg Config) (Table, error) {
 	if mc {
 		t.Notes = append(t.Notes,
 			fmt.Sprintf("Monte-Carlo directions: %d per cell, base seed %d", cfg.Samples, cfg.Seed))
+		if cfg.Sampler != sampler.Pseudo {
+			t.Notes = append(t.Notes, "Sampler: "+cfg.Sampler.String())
+		}
 	}
 	return t, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cache"
+	"repro/internal/sampler"
 	"repro/internal/sweep"
 )
 
@@ -40,6 +41,11 @@ type ShardMeta struct {
 	Shard   string `json:"shard"` // "I/K", see sweep.ParseShard
 	Seed    int64  `json:"seed"`
 	Samples int    `json:"samples"`
+	// Sampler names the draw source of the run ("" ≡ "pseudo", so shard
+	// files from before the sampler API — and all default runs — carry the
+	// same bytes they always did). Mixing records produced under different
+	// samplers would silently blend two different estimators.
+	Sampler string `json:"sampler,omitempty"`
 	Scope   string `json:"scope"` // see ShardScope
 }
 
@@ -66,14 +72,20 @@ func ShardScope(gridSpecs []string, gridAlgo string) (string, error) {
 }
 
 // Meta returns the fingerprint a run under cfg writes into its shard file.
+// The pseudo sampler is recorded as the empty string, keeping default-run
+// shard files byte-identical to the pre-sampler format.
 func (c Config) Meta(scope string) ShardMeta {
-	return ShardMeta{
+	m := ShardMeta{
 		Format:  ShardFormat,
 		Shard:   c.Shard.String(),
 		Seed:    c.Seed,
 		Samples: c.Samples,
 		Scope:   scope,
 	}
+	if c.Sampler != sampler.Pseudo {
+		m.Sampler = c.Sampler.String()
+	}
+	return m
 }
 
 // shardKey addresses one job record: the sweep call's deterministic batch
@@ -277,6 +289,15 @@ func readShardFile(store *ShardStore, path string, validate func(ShardMeta) erro
 	return meta, nil
 }
 
+// normalizeSampler maps the omitted-field spelling of the pseudo sampler
+// onto its name, so pre-sampler shard files merge with pseudo runs.
+func normalizeSampler(name string) string {
+	if name == "" {
+		return sampler.Pseudo.String()
+	}
+	return name
+}
+
 // compatibleMetas reports why two shard files cannot merge, if they cannot.
 func compatibleMetas(a, b ShardMeta) error {
 	if a.Seed != b.Seed {
@@ -284,6 +305,10 @@ func compatibleMetas(a, b ShardMeta) error {
 	}
 	if a.Samples != b.Samples {
 		return fmt.Errorf("samples %d conflicts with %d", b.Samples, a.Samples)
+	}
+	// "" and "pseudo" are the same sampler: old files omit the field.
+	if normalizeSampler(a.Sampler) != normalizeSampler(b.Sampler) {
+		return fmt.Errorf("sampler %q conflicts with %q", b.Sampler, a.Sampler)
 	}
 	if a.Scope != b.Scope {
 		return fmt.Errorf("scope %q conflicts with %q", b.Scope, a.Scope)

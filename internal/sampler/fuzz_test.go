@@ -1,0 +1,40 @@
+package sampler_test
+
+import (
+	"testing"
+
+	"repro/internal/sampler"
+)
+
+// FuzzParseSampler hardens the name parsing shared by the -sampler flags
+// and rvserved's JSON "sampler" field: any input either produces a kind
+// whose String() round-trips through ParseKind to the same kind, or an
+// error — never a panic, never a kind outside the enumeration.
+func FuzzParseSampler(f *testing.F) {
+	for _, kind := range sampler.Kinds() {
+		f.Add(kind.String())
+	}
+	f.Add("")
+	f.Add(" sobol ")
+	f.Add("SOBOL")
+	f.Add("pseudo\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		kind, err := sampler.ParseKind(name)
+		if err != nil {
+			return
+		}
+		known := false
+		for _, k := range sampler.Kinds() {
+			if kind == k {
+				known = true
+			}
+		}
+		if !known {
+			t.Fatalf("ParseKind(%q) returned unknown kind %d", name, kind)
+		}
+		again, err := sampler.ParseKind(kind.String())
+		if err != nil || again != kind {
+			t.Fatalf("kind %v does not round-trip: %v, %v", kind, again, err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package sampler
+
+import "sync"
+
+// Sobol' sequence over 32-bit direction numbers, 16 dimensions.
+//
+// Dimension 0 is the van der Corput sequence (all m_k = 1); dimensions
+// 1-15 use the primitive polynomials and initial direction numbers of the
+// Joe–Kuo table (new-joe-kuo-6), extended by the standard recurrence
+//
+//	m_k = m_{k-s} ⊕ 2^s·m_{k-s} ⊕ Σ_i 2^i·a_i·m_{k-i}
+//
+// where s is the polynomial degree and a_i its interior coefficients.
+// Points are generated in Gray-code order evaluated directly from the
+// index (g = p ⊕ p>>1), which is what makes the sequence random-access:
+// job i computes point i alone, the property the shard protocol needs.
+// A per-(seed, block, dimension) digital shift (XOR of a hashed 32-bit
+// mask) scrambles the raw sequence, decorrelating blocks and seeds
+// without disturbing the net structure.
+
+const (
+	sobolBits = 32
+	// SobolDims is the number of tabled Sobol' dimensions; draws beyond
+	// it fall back to hashed (seed, index, dim)-addressed values.
+	SobolDims = 16
+)
+
+// sobolPoly holds one Joe–Kuo table row: the polynomial degree s, the
+// interior coefficients a (bit s-2 down to 0 ⇔ a_1..a_{s-1}), and the
+// initial odd direction numbers m_1..m_s.
+type sobolPoly struct {
+	s int
+	a uint32
+	m []uint32
+}
+
+// sobolTable lists dimensions 1..15 (dimension 0 is van der Corput).
+var sobolTable = []sobolPoly{
+	{1, 0, []uint32{1}},
+	{2, 1, []uint32{1, 3}},
+	{3, 1, []uint32{1, 3, 1}},
+	{3, 2, []uint32{1, 1, 1}},
+	{4, 1, []uint32{1, 1, 3, 3}},
+	{4, 4, []uint32{1, 3, 5, 13}},
+	{5, 2, []uint32{1, 1, 5, 5, 17}},
+	{5, 4, []uint32{1, 1, 5, 5, 5}},
+	{5, 7, []uint32{1, 1, 7, 11, 19}},
+	{5, 11, []uint32{1, 1, 5, 1, 1}},
+	{5, 13, []uint32{1, 1, 1, 3, 11}},
+	{5, 14, []uint32{1, 3, 5, 5, 31}},
+	{6, 1, []uint32{1, 3, 3, 9, 7, 49}},
+	{6, 13, []uint32{1, 1, 1, 15, 21, 21}},
+	{6, 16, []uint32{1, 3, 1, 13, 27, 49}},
+}
+
+// sobolV[dim][k] is direction number V_k of the dimension, left-aligned
+// in 32 bits. Built once on first use.
+var (
+	sobolOnce sync.Once
+	sobolV    [SobolDims][sobolBits]uint32
+)
+
+func sobolInit() {
+	for k := 0; k < sobolBits; k++ {
+		sobolV[0][k] = 1 << (31 - k)
+	}
+	for dim, poly := range sobolTable {
+		var m [sobolBits]uint32
+		copy(m[:], poly.m)
+		for k := poly.s; k < sobolBits; k++ {
+			v := m[k-poly.s] ^ (m[k-poly.s] << poly.s)
+			for i := 1; i < poly.s; i++ {
+				if (poly.a>>(poly.s-1-i))&1 == 1 {
+					v ^= m[k-i] << i
+				}
+			}
+			m[k] = v
+		}
+		for k := 0; k < sobolBits; k++ {
+			sobolV[dim+1][k] = m[k] << (31 - k)
+		}
+	}
+}
+
+// sobol32 returns the raw (unscrambled) Sobol' coordinate of point p in
+// the given tabled dimension, as a 32-bit fixed-point fraction.
+func sobol32(p uint32, dim int) uint32 {
+	sobolOnce.Do(sobolInit)
+	g := p ^ (p >> 1) // Gray code: the standard sequence order, random-access
+	var x uint32
+	for k := 0; g != 0; k++ {
+		if g&1 == 1 {
+			x ^= sobolV[dim][k]
+		}
+		g >>= 1
+	}
+	return x
+}
+
+// sobolAt is the digitally shifted Sobol' draw of (seed, index, dim)
+// under the source's block structure.
+func sobolAt(seed int64, block, index, dim int) float64 {
+	if dim >= SobolDims {
+		return overflowAt(seed, index, dim)
+	}
+	b, p := index/block, index%block
+	x := sobol32(uint32(p), dim)
+	x ^= uint32(mash(saltSobol, uint64(seed), uint64(b), uint64(dim)))
+	return float64(x) * 0x1p-32
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"time"
+
+	"repro/internal/sampler"
 )
 
 // LaneError attributes a batched-row failure to one lane. Row functions
@@ -41,6 +43,20 @@ func (e *LaneError) Unwrap() error { return e.Err }
 // per index, in order; on failure it should return a *LaneError naming the
 // offending position in indices.
 func RunBatched[T any](n, rowSize int, fn func(indices []int, rng func(i int) *rand.Rand) ([]T, error), opt Options) ([]T, error) {
+	if fn == nil {
+		return nil, errors.New("sweep: nil row function")
+	}
+	return RunBatchedSampled(n, rowSize, func(indices []int, at func(i int) sampler.Draws) ([]T, error) {
+		return fn(indices, func(i int) *rand.Rand { return at(i).Rand() })
+	}, opt)
+}
+
+// RunBatchedSampled is RunBatched for sampler-aware row functions: each
+// lane i obtains its opt.Sampler draw handle through the at accessor, with
+// the same (BaseSeed, index) addressing as the scalar RunSampled path — so
+// scalar and batched evaluations of one sweep stay bit-identical under any
+// sampler kind.
+func RunBatchedSampled[T any](n, rowSize int, fn func(indices []int, at func(i int) sampler.Draws) ([]T, error), opt Options) ([]T, error) {
 	if n < 0 {
 		return nil, errors.New("sweep: negative job count")
 	}
@@ -57,7 +73,8 @@ func RunBatched[T any](n, rowSize int, fn func(indices []int, rng func(i int) *r
 	if opt.Monitor != nil {
 		opt.Monitor.add(opt.Shard.CountIn(n))
 	}
-	rngAt := func(i int) *rand.Rand { return Rand(opt.BaseSeed, i) }
+	src := opt.sampler()
+	drawsAt := func(i int) sampler.Draws { return src.Draws(opt.BaseSeed, i) }
 
 	rows := (n + rowSize - 1) / rowSize
 	rowFn := func(ri int, _ *rand.Rand) (struct{}, error) {
@@ -89,7 +106,7 @@ func RunBatched[T any](n, rowSize int, fn func(indices []int, rng func(i int) *r
 			return struct{}{}, nil
 		}
 		startT := time.Now()
-		vals, err := fn(indices, rngAt)
+		vals, err := fn(indices, drawsAt)
 		if err != nil {
 			// Rewrite a lane position into its dense job index so the
 			// caller-visible JobError is deterministic across row sizes.
@@ -120,7 +137,7 @@ func RunBatched[T any](n, rowSize int, fn func(indices []int, rng func(i int) *r
 
 	// The inner Run handles only scheduling: shard, exchange, and monitor
 	// accounting happened above at lane granularity, and the row-level RNG
-	// is ignored (lanes draw theirs through rngAt).
+	// is ignored (lanes draw theirs through the accessor).
 	_, err := Run(rows, rowFn, Options{Workers: opt.Workers, Pool: opt.Pool})
 	if err != nil {
 		var je *JobError

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"strconv"
 	"strings"
+
+	"repro/internal/sampler"
 )
 
 // Axis is one swept parameter: a name and its ordered values. Experiments
@@ -173,6 +175,19 @@ func (g Grid) Point(i int) []float64 {
 // of point 0, then all samples of point 1, and so on. The flat result slice
 // has length Size()·samples.
 func RunGrid[T any](g Grid, samples int, fn func(point []float64, sample int, rng *rand.Rand) (T, error), opt Options) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil job function")
+	}
+	return RunGridSampled(g, samples, func(point []float64, sample int, d sampler.Draws) (T, error) {
+		return fn(point, sample, d.Rand())
+	}, opt)
+}
+
+// RunGridSampled is RunGrid for sampler-aware jobs: the callback receives
+// the opt.Sampler draw handle of its dense job index. Samples of one grid
+// point occupy consecutive indices, so a sampler whose block size equals
+// samples stratifies each point's estimate independently.
+func RunGridSampled[T any](g Grid, samples int, fn func(point []float64, sample int, d sampler.Draws) (T, error), opt Options) ([]T, error) {
 	if samples < 1 {
 		samples = 1
 	}
@@ -180,7 +195,10 @@ func RunGrid[T any](g Grid, samples int, fn func(point []float64, sample int, rn
 	if size < 0 {
 		return nil, fmt.Errorf("sweep: grid too large")
 	}
-	return Run(size*samples, func(i int, rng *rand.Rand) (T, error) {
-		return fn(g.Point(i/samples), i%samples, rng)
+	if fn == nil {
+		return nil, fmt.Errorf("sweep: nil job function")
+	}
+	return RunSampled(size*samples, func(i int, d sampler.Draws) (T, error) {
+		return fn(g.Point(i/samples), i%samples, d)
 	}, opt)
 }

@@ -5,13 +5,25 @@
 //
 // Determinism is the design constraint everything else follows from. Each
 // job is identified by a dense index i ∈ [0, n); the engine hands job i a
-// private *rand.Rand seeded from (BaseSeed, i) via a splitmix64 derivation,
-// never shares mutable state between jobs, and writes result i into slot i
-// of a pre-sized slice. Monte-Carlo sweeps therefore reproduce exactly for
-// a fixed base seed whether they run on 1 worker or 64 — and whether the
-// batch runs on its own goroutines or on a Pool shared with other batches
-// (the shared global pool RunAllCfg uses to cap a whole suite at one worker
-// budget). A Monitor can observe per-job progress and timing.
+// private draw handle addressed by (Options.BaseSeed, i) — see
+// internal/sampler — never shares mutable state between jobs, and writes
+// result i into slot i of a pre-sized slice. Monte-Carlo sweeps therefore
+// reproduce exactly for a fixed base seed whether they run on 1 worker or
+// 64 — and whether the batch runs on its own goroutines or on a Pool shared
+// with other batches (the shared global pool RunAllCfg uses to cap a whole
+// suite at one worker budget). A Monitor can observe per-job progress and
+// timing.
+//
+// The sampler-aware entry points (RunSampled, RunGridSampled,
+// RunBatchedSampled) hand each job a sampler.Draws whose kind is chosen by
+// Options.Sampler — pseudo-random by default, or a low-discrepancy
+// Sobol/Halton/stratified source. Because every draw is a pure function of
+// (seed, index, dimension), any sampler splits across a K-way Shard fleet
+// and recombines byte-identically, exactly like the pseudo path always has.
+// The original rand-signature forms (Run, RunGrid, RunBatched) remain as
+// thin adapters that consume the job's pseudo stream via Draws.Rand, so
+// un-migrated callers keep their bytes regardless of the configured
+// sampler.
 package sweep
 
 import (
@@ -23,6 +35,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/sampler"
 )
 
 // Options control a batch run.
@@ -32,9 +46,15 @@ type Options struct {
 	// calling goroutine (useful to isolate concurrency from a failure).
 	// Ignored when Pool is set.
 	Workers int
-	// BaseSeed is the root of the per-job RNG derivation. Two runs with the
-	// same BaseSeed and job count see identical random streams per index.
+	// BaseSeed is the root of the per-job draw derivation. Two runs with
+	// the same BaseSeed and job count see identical random streams per
+	// index.
 	BaseSeed int64
+	// Sampler selects the per-job draw source handed to sampler-aware
+	// jobs; nil is the pseudo sampler (bit-identical to the pre-sampler
+	// engine). Legacy rand-signature jobs always consume the pseudo
+	// stream, whatever this is set to.
+	Sampler *sampler.Source
 	// Pool, when non-nil, executes the jobs on a shared worker pool instead
 	// of goroutines owned by this run, so several concurrent batches share
 	// one worker budget. Results are identical either way.
@@ -63,43 +83,113 @@ func (o Options) workers() int {
 	return o.Workers
 }
 
+// sampler resolves the draw source: nil means pseudo.
+func (o Options) sampler() *sampler.Source {
+	if o.Sampler != nil {
+		return o.Sampler
+	}
+	return sampler.Default()
+}
+
 // ErrCanceled is wrapped into the error returned when the context ends a
 // run before every job has executed.
 var ErrCanceled = errors.New("sweep: run canceled")
 
-// Seed derives the RNG seed of job index from base, mixing with the
-// splitmix64 finalizer so that consecutive indices produce decorrelated
-// streams (base+index alone would make neighbouring jobs near-identical
-// under math/rand's lagged-Fibonacci state).
+// Seed derives the RNG seed of job index from base; it delegates to
+// sampler.SeedAt, the one splitmix64 derivation the whole suite shares.
 func Seed(base int64, index int) int64 {
-	z := uint64(base) + uint64(index)*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return sampler.SeedAt(base, index)
 }
 
-// Rand returns the private RNG of job index for the given base seed —
-// exactly the generator Run hands to fn.
+// Rand returns the private pseudo RNG of job index for the given base
+// seed — exactly the generator the rand-signature adapters hand to fn.
 func Rand(base int64, index int) *rand.Rand {
 	return rand.New(rand.NewSource(Seed(base, index)))
 }
 
+// JobFunc is the sampler-aware job signature the engine executes: job i
+// receives its dimension-addressed draw handle (see sampler.Draws).
+type JobFunc[T any] func(i int, d sampler.Draws) (T, error)
+
+// adaptRand lifts a legacy rand-signature job onto JobFunc: the job
+// consumes the handle's pseudo stream, which is byte-identical to the
+// *rand.Rand the pre-sampler engine passed.
+func adaptRand[T any](fn func(i int, rng *rand.Rand) (T, error)) JobFunc[T] {
+	if fn == nil {
+		return nil // preserved so the engine's nil-job check still fires
+	}
+	return func(i int, d sampler.Draws) (T, error) { return fn(i, d.Rand()) }
+}
+
+// wrapJob layers the optional per-job middleware around fn — the exchange
+// (serve recorded results, record computed ones) and the monitor (per-job
+// timing). This is the one wrapping helper every run path shares; the
+// layers used to be open-coded closures repeated per concern.
+func wrapJob[T any](fn JobFunc[T], opt Options) JobFunc[T] {
+	if x := opt.Exchange; x != nil {
+		// A record that fails to decode is treated as absent: the job
+		// recomputes locally and produces the identical result from its
+		// (BaseSeed, index) draws.
+		inner := fn
+		fn = func(i int, d sampler.Draws) (T, error) {
+			if raw, ok := x.Lookup(opt.Batch, i); ok {
+				var v T
+				if json.Unmarshal(raw, &v) == nil {
+					return v, nil
+				}
+			}
+			v, err := inner(i, d)
+			if err == nil {
+				if raw, ok := roundTrips(v); ok {
+					x.Record(opt.Batch, i, raw)
+				}
+			}
+			return v, err
+		}
+	}
+	if m := opt.Monitor; m != nil {
+		inner := fn
+		fn = func(i int, d sampler.Draws) (T, error) {
+			start := time.Now()
+			v, err := inner(i, d)
+			m.jobDone(time.Since(start))
+			return v, err
+		}
+	}
+	return fn
+}
+
 // Run executes fn(i, rng) for every i in [0, n) across opt.Workers
 // goroutines and returns the results in index order. The rng passed to job
-// i is derived from (opt.BaseSeed, i), so output is independent of worker
-// count and scheduling. If any job fails, outstanding jobs are abandoned
-// and the error of the lowest-index failed job is returned. An opt.Shard
-// restricts execution to the indices it owns (the skipped slots stay zero);
-// an opt.Exchange serves already-recorded jobs and records computed ones,
-// so K sharded runs recombine into the full result set bit-exactly.
+// i is the pseudo stream derived from (opt.BaseSeed, i), so output is
+// independent of worker count and scheduling — and of opt.Sampler, which
+// only sampler-aware jobs observe (see RunSampled). If any job fails,
+// outstanding jobs are abandoned and the error of the lowest-index failed
+// job is returned. An opt.Shard restricts execution to the indices it owns
+// (the skipped slots stay zero); an opt.Exchange serves already-recorded
+// jobs and records computed ones, so K sharded runs recombine into the
+// full result set bit-exactly.
 func Run[T any](n int, fn func(i int, rng *rand.Rand) (T, error), opt Options) ([]T, error) {
-	return RunContext(context.Background(), n, fn, opt)
+	return RunSampledContext(context.Background(), n, adaptRand(fn), opt)
 }
 
 // RunContext is Run with cancellation: when ctx ends, workers stop picking
 // up new jobs and the context error is reported (wrapped with ErrCanceled)
 // unless a job error — which takes precedence — occurred first.
 func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand) (T, error), opt Options) ([]T, error) {
+	return RunSampledContext(ctx, n, adaptRand(fn), opt)
+}
+
+// RunSampled is Run for sampler-aware jobs: job i receives the
+// opt.Sampler draw handle addressed by (opt.BaseSeed, i) instead of a raw
+// *rand.Rand. With the default pseudo sampler and in-order dimension
+// access the draws are bit-identical to the Run path.
+func RunSampled[T any](n int, fn JobFunc[T], opt Options) ([]T, error) {
+	return RunSampledContext(context.Background(), n, fn, opt)
+}
+
+// RunSampledContext is the engine every Run variant reduces to.
+func RunSampledContext[T any](ctx context.Context, n int, fn JobFunc[T], opt Options) ([]T, error) {
 	if n < 0 {
 		return nil, errors.New("sweep: negative job count")
 	}
@@ -113,45 +203,17 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 	errs := make([]error, n)
 	canceled := false
 
-	if x := opt.Exchange; x != nil {
-		// Serve recorded results instead of executing, record what does
-		// execute. A record that fails to decode is treated as absent: the
-		// job recomputes locally and produces the identical result from its
-		// (BaseSeed, index) RNG.
-		inner := fn
-		fn = func(i int, rng *rand.Rand) (T, error) {
-			if raw, ok := x.Lookup(opt.Batch, i); ok {
-				var v T
-				if json.Unmarshal(raw, &v) == nil {
-					return v, nil
-				}
-			}
-			v, err := inner(i, rng)
-			if err == nil {
-				if raw, ok := roundTrips(v); ok {
-					x.Record(opt.Batch, i, raw)
-				}
-			}
-			return v, err
-		}
-	}
-
 	if opt.Monitor != nil {
 		opt.Monitor.add(opt.Shard.CountIn(n))
-		inner := fn
-		fn = func(i int, rng *rand.Rand) (T, error) {
-			start := time.Now()
-			v, err := inner(i, rng)
-			opt.Monitor.jobDone(time.Since(start))
-			return v, err
-		}
 	}
+	fn = wrapJob(fn, opt)
+	src := opt.sampler()
 
 	if opt.Pool != nil {
-		canceled = runPooled(ctx, n, fn, opt, results, errs)
+		canceled = runPooled(ctx, n, fn, src, opt, results, errs)
 	} else if workers := opt.workers(); workers == 1 {
 		// Serial path: run in the calling goroutine. Results are identical
-		// to the parallel path by construction (same per-index seeds).
+		// to the parallel path by construction (same per-index draws).
 		for i := 0; i < n; i++ {
 			if !opt.Shard.Owns(i) {
 				continue
@@ -160,7 +222,7 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 				canceled = true
 				break
 			}
-			results[i], errs[i] = fn(i, Rand(opt.BaseSeed, i))
+			results[i], errs[i] = fn(i, src.Draws(opt.BaseSeed, i))
 			if errs[i] != nil {
 				break
 			}
@@ -180,7 +242,7 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 			go func() {
 				defer wg.Done()
 				for i := range indices {
-					results[i], errs[i] = fn(i, Rand(opt.BaseSeed, i))
+					results[i], errs[i] = fn(i, src.Draws(opt.BaseSeed, i))
 					if errs[i] != nil {
 						cancel() // stop feeding; peers finish their current job
 						return
@@ -218,11 +280,11 @@ func RunContext[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand
 }
 
 // runPooled feeds the batch to a shared Pool. Each job still writes only
-// its own slot with its own (BaseSeed, index) RNG, so results match the
+// its own slot with its own (BaseSeed, index) draws, so results match the
 // private-goroutine paths bit for bit. On a job error the remaining
 // submitted jobs are abandoned (they return without executing fn); on
 // context cancellation the feed stops and canceled is reported.
-func runPooled[T any](ctx context.Context, n int, fn func(i int, rng *rand.Rand) (T, error), opt Options, results []T, errs []error) (canceled bool) {
+func runPooled[T any](ctx context.Context, n int, fn JobFunc[T], src *sampler.Source, opt Options, results []T, errs []error) (canceled bool) {
 	inner, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var wg sync.WaitGroup
@@ -239,7 +301,7 @@ feed:
 				skipped.Store(true) // a peer failed or the context ended
 				return
 			}
-			results[i], errs[i] = fn(i, Rand(opt.BaseSeed, i))
+			results[i], errs[i] = fn(i, src.Draws(opt.BaseSeed, i))
 			if errs[i] != nil {
 				cancel()
 			}
