@@ -1,5 +1,7 @@
 # Developer / CI entry points. `make ci` is what every PR must keep green:
-# vet, build, the full test suite under the race detector (the sweep engine
+# lint (repolint static determinism/hot-path pass + gofmt -l + vet — the
+# static half of the byte-identity contract; see internal/lint), build, the
+# full test suite under the race detector (the sweep engine
 # is concurrent; -race is not optional), the multi-core sweep speedup
 # gate (TestSweepWorkersGate — BenchmarkSweepWorkersMax must beat
 # BenchmarkSweepWorkers1 by ≥2×; self-skips on single-CPU runners), and the
@@ -18,7 +20,7 @@ FUZZTIME ?= 10s
 # time; without it benchmarks run the default 1s per benchmark.
 BENCHTIME := $(if $(QUICK),100x,1s)
 
-.PHONY: ci vet build test race gate batchgate convcheck bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
+.PHONY: ci lint vet build test race gate batchgate convcheck bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
 
 # loadcheck proves the rvserved serving path under real load: it builds the
 # daemon, boots it on an ephemeral port, drives LOADCLIENTS concurrent
@@ -34,7 +36,16 @@ loadcheck:
 	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
 	$(GO) run ./cmd/loadcheck -server "$$tmp/rvserved" -clients $(LOADCLIENTS) -duration $(LOADDURATION)
 
-ci: vet build race gate batchgate convcheck
+ci: lint build race gate batchgate convcheck
+
+# lint is the static determinism & hot-path pass: gofmt drift, go vet, and
+# repolint (internal/lint) — globalrand, walltime, maporder, floatfmt and
+# boxing analyzers over every non-test file, with explicit
+# `//lint:allow <analyzer> <reason>` as the only sanctioned suppression.
+lint: vet
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift (run gofmt -w):"; echo "$$drift"; exit 1; fi
+	$(GO) run ./cmd/repolint ./...
 
 vet:
 	$(GO) vet ./...

@@ -71,7 +71,7 @@ func TestAdoptShardMeta(t *testing.T) {
 		{name: "recorded sampler adopted when unset", meta: sobolMeta,
 			wantSeed: 7, wantSamples: 4, wantSampler: sampler.Sobol},
 		{name: "explicit sampler match passes", meta: sobolMeta,
-			cfg: experiments.Config{Seed: 7, Samples: 4, Sampler: sampler.Sobol},
+			cfg:     experiments.Config{Seed: 7, Samples: 4, Sampler: sampler.Sobol},
 			seedSet: true, samplesSet: true, samplerSet: true,
 			wantSeed: 7, wantSamples: 4, wantSampler: sampler.Sobol},
 		{name: "explicit sampler conflict", meta: sobolMeta,

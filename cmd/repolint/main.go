@@ -1,0 +1,56 @@
+// Command repolint runs the repo's static determinism and hot-path lint
+// pass (internal/lint) over the module: globalrand, walltime, maporder,
+// floatfmt and boxing — the static half of the byte-identity contract the
+// goldens, `make shardcheck`, and the runtime alloc gates enforce
+// dynamically. It is dependency-free: package discovery via `go list -json`
+// and type-checking from source with go/parser + go/types.
+//
+// Usage:
+//
+//	repolint [-C dir] [packages]
+//
+// Packages default to ./... relative to -C (default "."). Each finding is
+// printed as file:line:col: [analyzer] message; the exit status is 1 when
+// there are findings and 0 on a clean tree. Suppress a finding with an
+// explicit, justified directive on or directly above the offending line:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// `make lint` runs repolint together with gofmt -l and go vet, and is a
+// blocking step of `make ci`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to lint")
+	flag.Parse()
+
+	diags, err := lint.Run(*dir, flag.Args(), nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -66,15 +66,15 @@ func E14FaultInjectionCfg(cfg Config) (Table, error) {
 	// Crash faults: R′ halts forever; R's algorithm solves plain search
 	// against the crash position, so meeting is guaranteed.
 	for _, crash := range []float64{0, 50, 500} {
-		name := fmt.Sprintf("crash at t=%g", crash)
-		jobs = append(jobs, job(fmt.Sprintf("crash:%g", crash), name,
+		name := "crash at t=" + FormatFloat(crash)
+		jobs = append(jobs, job("crash:"+FormatFloat(crash), name,
 			func() trajectory.Source { return trajectory.CutAt(b(), crash) },
 			"reduces to search; guaranteed", true))
 	}
 	// Delayed start: R′ is a time-shifted twin.
 	for _, delay := range []float64{10, 100} {
-		name := fmt.Sprintf("start delayed by %g", delay)
-		jobs = append(jobs, job(fmt.Sprintf("delay:%g", delay), name,
+		name := "start delayed by " + FormatFloat(delay)
+		jobs = append(jobs, job("delay:"+FormatFloat(delay), name,
 			func() trajectory.Source { return trajectory.DelayStart(b(), delay) },
 			"time shift breaks symmetry", false))
 	}

@@ -104,7 +104,7 @@ func E16VariableSpeedCfg(cfg Config) (Table, error) {
 			}
 			// The id pins both trajectories: alg4 from the origin vs. the
 			// alg4 twin under attrs at d=(1,0) with the given modulation.
-			id := fmt.Sprintf("e16:alg4:d=1,0:attrs=%v:factors=%v", attrs, factors)
+			id := fmt.Sprintf("e16:alg4:d=1,0:attrs=%v:factors=%s", attrs, FormatCell(factors))
 			res, err := cfg.Cache.FirstMeeting(id, a, b, r, sim.Options{Horizon: horizon})
 			if err != nil {
 				return nil, fmt.Errorf("E16 %s: %w", name, err)
@@ -117,7 +117,7 @@ func E16VariableSpeedCfg(cfg Config) (Table, error) {
 			if mustMeet && !res.Met {
 				return nil, fmt.Errorf("E16 %s: expected meeting (gap %v)", name, res.Gap)
 			}
-			return []any{name, fmt.Sprintf("%v", factors), outcome, tm}, nil
+			return []any{name, FormatCell(factors), outcome, tm}, nil
 		}
 	}
 

@@ -129,13 +129,14 @@ func E2DurationsCfg(cfg Config) (Table, error) {
 	var jobs []rowJob
 	for _, delta := range []float64{0.5, 2} {
 		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
-			return row("SearchCircle", fmt.Sprintf("δ=%g", delta),
+			return row("SearchCircle", "δ="+FormatFloat(delta),
 				bounds.SearchCircleTime(delta), trajectory.Duration(algo.SearchCircle(delta)))
 		})
 	}
 	for _, c := range []struct{ d1, d2, rho float64 }{{0.5, 1, 0.0625}, {1, 2, 0.125}} {
 		jobs = append(jobs, func(*rand.Rand) ([]any, error) {
-			return row("SearchAnnulus", fmt.Sprintf("δ1=%g δ2=%g ρ=%g", c.d1, c.d2, c.rho),
+			return row("SearchAnnulus", fmt.Sprintf("δ1=%s δ2=%s ρ=%s",
+				FormatFloat(c.d1), FormatFloat(c.d2), FormatFloat(c.rho)),
 				bounds.SearchAnnulusTime(c.d1, c.d2, c.rho),
 				trajectory.Duration(algo.SearchAnnulus(c.d1, c.d2, c.rho)))
 		})
@@ -193,7 +194,7 @@ func E9BaselinesCfg(cfg Config) (Table, error) {
 	strategies := []strategy{
 		{"alg4", func(float64) string { return "alg4" },
 			func(float64) trajectory.Source { return algo.CumulativeSearch() }},
-		{"known", func(r float64) string { return fmt.Sprintf("known:%g", r) },
+		{"known", func(r float64) string { return "known:" + FormatFloat(r) },
 			func(r float64) trajectory.Source { return algo.KnownVisibilitySearch(r) }},
 		{"pitch", func(float64) string { return "pitch:0.5" },
 			func(float64) trajectory.Source { return algo.FixedPitchSweep(0.5) }},

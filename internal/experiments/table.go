@@ -15,6 +15,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
@@ -41,16 +42,40 @@ func (t *Table) AddRow(cells ...any) {
 func formatCells(cells []any) []string {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = fmt.Sprintf("%.6g", v)
-		case string:
-			row[i] = v
-		default:
-			row[i] = fmt.Sprintf("%v", v)
-		}
+		row[i] = FormatCell(c)
 	}
 	return row
+}
+
+// FormatCell is the canonical user-visible cell formatter — the single
+// float→string point the floatfmt analyzer enforces. Measured float64
+// quantities render at %.6g; []float64 annotation lists (e.g. speed-factor
+// schedules) render element-wise at exact precision inside brackets,
+// byte-for-byte what %v historically produced; strings pass through; every
+// other type falls back to %v.
+func FormatCell(c any) string {
+	switch v := c.(type) {
+	case float64:
+		return fmt.Sprintf("%.6g", v)
+	case []float64:
+		parts := make([]string, len(v))
+		for i, f := range v {
+			parts[i] = FormatFloat(f)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	case string:
+		return v
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+// FormatFloat renders a float at exact shortest round-trip precision —
+// byte-for-byte what a bare %g produces. It is the canonical formatter for
+// floats embedded in instance names and cache identity strings, where full
+// precision (rather than the table cell's %.6g) is the contract.
+func FormatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 // Render writes the table as aligned plain text.

@@ -68,7 +68,7 @@ func E7UniversalRoundsCfg(cfg Config) (Table, error) {
 				if round > kStar {
 					return nil, fmt.Errorf("E7 τ=%v: met in round %d > k* = %d", tau, round, kStar)
 				}
-				return []any{fmt.Sprintf("%g", tau) + " (r=" + fmt.Sprintf("%g", r) + ")",
+				return []any{FormatFloat(tau) + " (r=" + FormatFloat(r) + ")",
 					dec.T, dec.A, n, res.Time, round, kStar}, nil
 			})
 		}

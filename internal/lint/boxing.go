@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runBoxing is the static complement of the runtime alloc gates
+// (TestRendezvousHotAllocGate and friends). In the hot-path packages it
+// flags (1) implicit conversions of the value unions (segment.Seg,
+// motion.Mover, motion.Contact) to interface types — each such conversion
+// heap-allocates a copy of the union, which is exactly what the value-typed
+// PR 5 refactor removed — at call arguments, assignments, declarations,
+// returns, and interface-element composite literals; and (2) fmt.* calls on
+// non-error paths. fmt.Errorf, panic messages, and String/Error/GoString
+// methods are the sanctioned error-path uses; anything else in a hot-path
+// package either belongs in the caller or needs an explicit allow.
+func runBoxing(p *pass) {
+	if !pathMatches(p.path, p.cfg.BoxingPackages) {
+		return
+	}
+	b := &boxingWalk{p: p, panicArgs: make(map[ast.Node]bool)}
+	for _, f := range p.files {
+		// Pre-pass: calls whose result feeds panic directly are error-path.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := p.info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+					for _, arg := range call.Args {
+						b.panicArgs[ast.Unparen(arg)] = true
+					}
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					b.walk(d.Body, funcName(d), resultsOf(p, d))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						b.valueSpec(vs)
+					}
+				}
+			}
+		}
+	}
+}
+
+type boxingWalk struct {
+	p         *pass
+	panicArgs map[ast.Node]bool
+}
+
+func funcName(d *ast.FuncDecl) string { return d.Name.Name }
+
+func resultsOf(p *pass, d *ast.FuncDecl) *types.Tuple {
+	fn, _ := p.info.Defs[d.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	return fn.Type().(*types.Signature).Results()
+}
+
+// errorPathFmt reports whether a fmt call is a sanctioned error-path use:
+// Errorf anywhere, any fmt call feeding panic directly, or any fmt call
+// inside a String/Error/GoString method.
+func (b *boxingWalk) errorPathFmt(call *ast.CallExpr, fn *types.Func, enclosing string) bool {
+	if fn.Name() == "Errorf" {
+		return true
+	}
+	if b.panicArgs[call] {
+		return true
+	}
+	switch enclosing {
+	case "String", "Error", "GoString":
+		return true
+	}
+	return false
+}
+
+// walk inspects one function body. enclosing is the nearest named method's
+// name (FuncLits inherit it); results is the enclosing function's result
+// tuple for return-statement checks.
+func (b *boxingWalk) walk(body ast.Node, enclosing string, results *types.Tuple) {
+	p := b.p
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			sig, _ := p.info.TypeOf(x).(*types.Signature)
+			var res *types.Tuple
+			if sig != nil {
+				res = sig.Results()
+			}
+			b.walk(x.Body, enclosing, res)
+			return false
+		case *ast.CallExpr:
+			b.call(x, enclosing)
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					b.conversion(x.Rhs[i], p.info.TypeOf(x.Lhs[i]), "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			b.valueSpec(x)
+		case *ast.ReturnStmt:
+			if results != nil && len(x.Results) == results.Len() {
+				for i, r := range x.Results {
+					b.conversion(r, results.At(i).Type(), "return")
+				}
+			}
+		case *ast.CompositeLit:
+			b.compositeLit(x)
+		}
+		return true
+	})
+}
+
+func (b *boxingWalk) call(call *ast.CallExpr, enclosing string) {
+	p := b.p
+	if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			if !b.errorPathFmt(call, fn, enclosing) {
+				p.reportf("boxing", call.Pos(),
+					"fmt.%s on a non-error path in hot-path package %q: formatting belongs in error paths (Errorf, panic, String methods) or in callers", fn.Name(), p.pkg.Name())
+			}
+			return // its args boxing into ...any is subsumed by the fmt rule
+		case "errors":
+			return // error construction is an error path by definition
+		}
+	}
+	tv, ok := p.info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return // conversion or builtin, not a function call
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				return // a spread slice is passed as-is, nothing boxes per-element
+			}
+			param = sig.Params().At(np - 1).Type().Underlying().(*types.Slice).Elem()
+		case i < np:
+			param = sig.Params().At(i).Type()
+		default:
+			return
+		}
+		b.conversion(arg, param, "call argument")
+	}
+}
+
+func (b *boxingWalk) valueSpec(vs *ast.ValueSpec) {
+	if vs.Type == nil {
+		return
+	}
+	dst := b.p.info.TypeOf(vs.Type)
+	for _, v := range vs.Values {
+		b.conversion(v, dst, "declaration")
+	}
+}
+
+func (b *boxingWalk) compositeLit(cl *ast.CompositeLit) {
+	t := b.p.info.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Map:
+		elem = u.Elem()
+	default:
+		return
+	}
+	for _, e := range cl.Elts {
+		if kv, ok := e.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		b.conversion(e, elem, "composite literal element")
+	}
+}
+
+// conversion reports expr when its type is one of the configured value
+// unions and dst is an interface type.
+func (b *boxingWalk) conversion(expr ast.Expr, dst types.Type, site string) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	name := b.unionName(b.p.info.TypeOf(expr))
+	if name == "" {
+		return
+	}
+	b.p.reportf("boxing", expr.Pos(),
+		"%s value implicitly converted to %s at %s: hot-path unions must stay value-typed (static complement of the alloc gates)",
+		name, types.TypeString(dst, types.RelativeTo(b.p.pkg)), site)
+}
+
+// unionName returns "pkg.Type" when t is one of the configured value
+// unions (by value, not pointer — a *T in an interface does not copy).
+func (b *boxingWalk) unionName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	for _, ref := range b.p.cfg.BoxingTypes {
+		if obj.Name() == ref.Name && pathMatches(obj.Pkg().Path(), []string{ref.Pkg}) {
+			return ref.Pkg + "." + ref.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //lint:... comment. Grammar:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// A valid allow suppresses diagnostics of the named analyzer on its own
+// line (trailing comment) and on the line directly below it (standalone
+// comment above the offending statement). Invalid directives — unknown
+// verb, unknown analyzer, missing reason — and allows that suppress nothing
+// are themselves diagnostics, reported under the pseudo-analyzer "lint", so
+// every suppression in the tree is explicit, justified, and live.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	verb     string
+	analyzer string
+	reason   string
+	used     bool
+}
+
+func (d *directive) valid() bool {
+	return d.verb == "allow" && knownAnalyzer(d.analyzer) && d.reason != ""
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range analyzers {
+		if a.name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveSet indexes a package's directives for suppression lookup while
+// keeping the parse-order slice for deterministic diagnostic emission.
+type directiveSet struct {
+	all   []*directive
+	index map[string]map[int][]*directive // file -> comment line -> directives
+}
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) *directiveSet {
+	ds := &directiveSet{index: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := &directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					d.verb = fields[0]
+				}
+				if len(fields) > 1 {
+					d.analyzer = fields[1]
+				}
+				if len(fields) > 2 {
+					d.reason = strings.Join(fields[2:], " ")
+				}
+				ds.all = append(ds.all, d)
+				byLine := ds.index[d.file]
+				if byLine == nil {
+					byLine = make(map[int][]*directive)
+					ds.index[d.file] = byLine
+				}
+				byLine[d.line] = append(byLine[d.line], d)
+			}
+		}
+	}
+	return ds
+}
+
+// allowed reports whether a diagnostic of the given analyzer at pos is
+// suppressed by a valid allow on the same line or the line above, marking
+// the directive used.
+func (ds *directiveSet) allowed(pos token.Position, analyzer string) bool {
+	byLine := ds.index[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	hit := false
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.valid() && d.analyzer == analyzer {
+				d.used = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// diagnostics reports every malformed or unused directive.
+func (ds *directiveSet) diagnostics(fset *token.FileSet) []Diagnostic {
+	var diags []Diagnostic
+	add := func(d *directive, msg string) {
+		diags = append(diags, Diagnostic{Pos: fset.Position(d.pos), Analyzer: "lint", Message: msg})
+	}
+	for _, d := range ds.all {
+		switch {
+		case d.verb != "allow":
+			add(d, "unknown lint directive //lint:"+d.verb+" (only //lint:allow <analyzer> <reason> is defined)")
+		case d.analyzer == "":
+			add(d, "malformed //lint:allow: missing analyzer (grammar: //lint:allow <analyzer> <reason>)")
+		case !knownAnalyzer(d.analyzer):
+			add(d, "//lint:allow names unknown analyzer "+quote(d.analyzer)+" (known: "+strings.Join(analyzerNames(), ", ")+")")
+		case d.reason == "":
+			add(d, "//lint:allow "+d.analyzer+" is missing its mandatory reason")
+		case !d.used:
+			add(d, "unused //lint:allow "+d.analyzer+": it suppresses no diagnostic; delete it")
+		}
+	}
+	return diags
+}
+
+func quote(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness proves every analyzer fires: each package under
+// testdata/src seeds violations annotated with trailing
+//
+//	// want "regexp"
+//
+// comments; the harness type-checks the fixture (fixture-local imports
+// resolved under testdata/src, everything else from the standard library),
+// runs the full analyzer suite with DefaultConfig, and requires the
+// diagnostics and the want annotations to match line by line in both
+// directions. testdata/ is invisible to go list ./..., so the seeded
+// violations never reach the real lint pass.
+
+var fixtureStd struct {
+	once sync.Once
+	fset *token.FileSet
+	res  *resolver
+	err  error
+}
+
+// stdResolver returns a shared resolver over the standard library, built
+// once per test process from `go list -deps std`.
+func stdResolver(t *testing.T) (*token.FileSet, *resolver) {
+	t.Helper()
+	fixtureStd.once.Do(func() {
+		fixtureStd.fset = token.NewFileSet()
+		_, index, err := listPackages("../..", []string{"std"})
+		if err != nil {
+			fixtureStd.err = err
+			return
+		}
+		fixtureStd.res = newResolver(fixtureStd.fset, index)
+	})
+	if fixtureStd.err != nil {
+		t.Fatalf("listing std: %v", fixtureStd.err)
+	}
+	return fixtureStd.fset, fixtureStd.res
+}
+
+// fixtureResolver resolves fixture-local import paths to directories under
+// testdata/src and everything else through the std resolver.
+type fixtureResolver struct {
+	fset  *token.FileSet
+	root  string
+	std   *resolver
+	cache map[string]*types.Package
+}
+
+func (r *fixtureResolver) Import(path string) (*types.Package, error) {
+	if pkg, ok := r.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(r.root, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return r.std.Import(path)
+	}
+	files, err := parseFixtureDir(r.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: r, FakeImportC: true}
+	pkg, err := conf.Check(path, r.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	r.cache[path] = pkg
+	return pkg, nil
+}
+
+func parseFixtureDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return parseFiles(fset, dir, names, true)
+}
+
+// fixtureDiags type-checks one fixture package and returns its parsed
+// files plus the analyzer suite's diagnostics under DefaultConfig.
+func fixtureDiags(t *testing.T, importPath string) ([]*ast.File, []Diagnostic) {
+	t.Helper()
+	fset, std := stdResolver(t)
+	root := filepath.Join("testdata", "src")
+	fr := &fixtureResolver{fset: fset, root: root, std: std, cache: make(map[string]*types.Package)}
+	dir := filepath.Join(root, filepath.FromSlash(importPath))
+	files, err := parseFixtureDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", importPath, err)
+	}
+	info := newTypeInfo()
+	conf := types.Config{Importer: fr, FakeImportC: true}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", importPath, err)
+	}
+	return files, analyze(fset, importPath, files, pkg, info, &DefaultConfig)
+}
+
+type wantAnnotation struct {
+	raw string
+	re  *regexp.Regexp
+	hit bool
+}
+
+var wantRE = regexp.MustCompile(`"([^"]*)"`)
+
+// checkFixture matches diagnostics against // want annotations in both
+// directions.
+func checkFixture(t *testing.T, importPath string) {
+	t.Helper()
+	fset, _ := stdResolver(t)
+	files, diags := fixtureDiags(t, importPath)
+
+	wants := make(map[string][]*wantAnnotation) // "file:line" -> annotations
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &wantAnnotation{raw: m[1], re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got := d.Analyzer + ": " + d.Message
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(got) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s: want %q matched no diagnostic", key, w.raw)
+			}
+		}
+	}
+}
+
+func TestGlobalrandFixture(t *testing.T) { checkFixture(t, "globalrand") }
+
+func TestWalltimeFixture(t *testing.T) { checkFixture(t, "walltime/sim") }
+
+// TestWalltimeAllowlistFixture proves wall-clock reads outside the
+// result-producing scope (telemetry) produce no diagnostics.
+func TestWalltimeAllowlistFixture(t *testing.T) { checkFixture(t, "walltime/telemetry") }
+
+func TestMaporderFixture(t *testing.T) { checkFixture(t, "maporder") }
+
+func TestFloatfmtFixture(t *testing.T) { checkFixture(t, "floatfmt/experiments") }
+
+func TestBoxingFixture(t *testing.T) { checkFixture(t, "boxing/sim") }
+
+// TestDirectivesFixture pins the //lint:allow grammar with explicit
+// expectations (a trailing // want comment would be swallowed into a
+// directive's reason text, so this fixture cannot use annotations):
+// justified allows suppress in both the trailing and line-above forms,
+// and missing-reason, unknown-analyzer, unused, and unknown-verb
+// directives each surface exactly one "lint" diagnostic.
+func TestDirectivesFixture(t *testing.T) {
+	_, diags := fixtureDiags(t, "directives")
+
+	expected := []struct{ analyzer, substr string }{
+		{"globalrand", "call to global math/rand.Intn"}, // MissingReason's call, not suppressed
+		{"globalrand", "call to global math/rand.Intn"}, // UnknownAnalyzer's call, not suppressed
+		{"lint", "missing its mandatory reason"},
+		{"lint", "unknown analyzer \"nosuchanalyzer\""},
+		{"lint", "unused //lint:allow globalrand"},
+		{"lint", "unknown lint directive //lint:ignore"},
+	}
+	if len(diags) != len(expected) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(diags), len(expected))
+	}
+	used := make([]bool, len(diags))
+	for _, e := range expected {
+		found := false
+		for i, d := range diags {
+			if !used[i] && d.Analyzer == e.analyzer && strings.Contains(d.Message, e.substr) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic matching [%s] %q", e.analyzer, e.substr)
+		}
+	}
+	for _, d := range diags {
+		if strings.Contains(d.Message, "sanctioned suppression") {
+			t.Errorf("justified allow leaked a diagnostic: %s", d)
+		}
+	}
+}
+
+// TestParseVerbs pins the printf-verb scanner the floatfmt analyzer
+// depends on.
+func TestParseVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		want   []verb
+	}{
+		{"plain", nil},
+		{"%v", []verb{{0, 'v', true}}},
+		{"%.6g", []verb{{0, 'g', false}}},
+		{"%d then %g", []verb{{0, 'd', true}, {1, 'g', true}}},
+		{"%*.2f", []verb{{1, 'f', false}}},
+		{"%%v %v", []verb{{0, 'v', true}}},
+		{"%+08.3e", []verb{{0, 'e', false}}},
+	}
+	for _, c := range cases {
+		got := parseVerbs(c.format)
+		if len(got) != len(c.want) {
+			t.Errorf("parseVerbs(%q) = %+v, want %+v", c.format, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseVerbs(%q)[%d] = %+v, want %+v", c.format, i, got[i], c.want[i])
+			}
+		}
+	}
+}

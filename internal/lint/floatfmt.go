@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// runFloatfmt flags ad-hoc float formatting in the table-producing
+// packages: a bare %v or %g verb (no explicit precision) whose argument is
+// a float or a slice/array of floats. Every user-visible float must go
+// through the canonical formatters in experiments/table.go — FormatCell
+// (table cells, %.6g), FormatFloat (exact shortest round-trip) and the
+// internal formatCells — so that one call site can never disagree with
+// another about a value's rendered bytes. fmt.Errorf is exempt: error text
+// is not table output.
+func runFloatfmt(p *pass) {
+	if !pathMatches(p.path, p.cfg.FloatfmtPackages) {
+		return
+	}
+	canonical := func(name string) bool {
+		for _, c := range p.cfg.CanonicalFormatters {
+			if name == c {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || canonical(fd.Name.Name) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkFmtCall(p, call)
+				return true
+			})
+		}
+	}
+}
+
+func checkFmtCall(p *pass, call *ast.CallExpr) {
+	fn := calleeFunc(p, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	var formatIdx int
+	switch fn.Name() {
+	case "Sprintf", "Printf":
+		formatIdx = 0
+	case "Fprintf", "Appendf":
+		formatIdx = 1
+	default:
+		return
+	}
+	if len(call.Args) <= formatIdx {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[formatIdx]).(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	args := call.Args[formatIdx+1:]
+	for _, v := range parseVerbs(format) {
+		if !v.bare || (v.verb != 'v' && v.verb != 'g' && v.verb != 'G') {
+			continue
+		}
+		if v.arg >= len(args) {
+			continue
+		}
+		if isFloatish(p.info.TypeOf(args[v.arg])) {
+			p.reportf("floatfmt", args[v.arg].Pos(),
+				"ad-hoc %%%c formatting of a float: route user-visible floats through the canonical table formatter (experiments.FormatCell / FormatFloat)", v.verb)
+		}
+	}
+}
+
+// isFloatish reports whether t is a floating-point type or a slice/array
+// of one.
+func isFloatish(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsFloat != 0
+	case *types.Slice:
+		return isFloatish(u.Elem())
+	case *types.Array:
+		return isFloatish(u.Elem())
+	}
+	return false
+}
+
+// verb is one parsed printf conversion: which argument it consumes, the
+// verb rune, and whether it carries no explicit precision.
+type verb struct {
+	arg  int
+	verb rune
+	bare bool
+}
+
+// parseVerbs walks a printf format string, pairing each conversion with
+// the index of the operand it consumes. Indexed arguments (%[1]v) abort
+// the scan — attributing operands after an index reset is not worth the
+// complexity for a lint heuristic.
+func parseVerbs(format string) []verb {
+	var verbs []verb
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width
+		if i < len(format) && format[i] == '*' {
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		hasPrec := false
+		if i < len(format) && format[i] == '.' {
+			hasPrec = true
+			i++
+			if i < len(format) && format[i] == '*' {
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		r := rune(format[i])
+		i++
+		switch r {
+		case '%':
+			continue
+		case '[':
+			return verbs
+		}
+		verbs = append(verbs, verb{arg: arg, verb: r, bare: !hasPrec})
+		arg++
+	}
+	return verbs
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runGlobalrand flags calls to the top-level math/rand (and math/rand/v2)
+// functions, which draw from the shared, order-dependent global source, and
+// rand sources seeded from the wall clock. Deterministic construction —
+// rand.New(rand.NewSource(seed)) with a seed derived from the job's
+// (seed, index) — is the sanctioned pattern and is not flagged.
+func runGlobalrand(p *pass) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand are fine
+			}
+			switch fn.Name() {
+			case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+				if tn := wallClockArg(p, call); tn != nil {
+					p.reportf("globalrand", tn.Pos(),
+						"time-seeded math/rand source: derive seeds from the job's (seed, index), never the wall clock")
+				}
+				return true
+			}
+			p.reportf("globalrand", call.Pos(),
+				"call to global %s.%s: all randomness must flow from sampler.Draws or the per-job (seed, index) *rand.Rand", path, fn.Name())
+			return true
+		})
+	}
+}
+
+// wallClockArg returns the first time.Now call appearing anywhere inside
+// the call's arguments, if any.
+func wallClockArg(p *pass, call *ast.CallExpr) ast.Node {
+	var found ast.Node
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if c, ok := n.(*ast.CallExpr); ok {
+				if fn := calleeFunc(p, c); isPkgFunc(fn, "time", "Now") {
+					found = c
+					return false
+				}
+			}
+			return true
+		})
+	}
+	return found
+}

@@ -1,0 +1,365 @@
+// Package lint implements repolint, the repo's dependency-free static
+// determinism and hot-path lint pass. It statically enforces the invariants
+// that the golden tables, `make shardcheck`, and the runtime alloc gates
+// check dynamically: every rendered table must be byte-identical under
+// workers × cache × shard K × batch × sampler, and the simulator hot path
+// must stay allocation-free. A nondeterminism bug the goldens happen not to
+// cover — a map-order-dependent row, a stray global rand call, wall-clock
+// time leaking into a result — should fail `make lint`, not ship silently.
+//
+// Enforced invariants (one analyzer each):
+//
+//   - globalrand: non-test code must not call the top-level math/rand
+//     functions (rand.Intn, rand.Float64, rand.Shuffle, ...) or seed a
+//     rand source from the wall clock. All randomness flows from
+//     sampler.Draws or the per-job (seed, index) *rand.Rand the sweep
+//     engine derives.
+//   - walltime: the result-producing packages (segment, motion, sim, algo,
+//     batch, sampler, trajectory, analysis) must not read the wall clock
+//     (time.Now / time.Since): a timestamp that can reach a result breaks
+//     byte-identity across runs. Telemetry and progress timing live in
+//     sweep and telemetry, which are deliberately not on the list.
+//   - maporder: a `range` over a map whose body appends to a slice declared
+//     outside the loop (with no sort of that slice later in the same
+//     block), folds floating-point accumulators, or prints output is
+//     order-dependent — Go randomizes map iteration, so each of these can
+//     break byte-identity. Sorting the collected slice after the loop
+//     legitimizes the append pattern.
+//   - floatfmt: in the table-producing package (experiments), user-visible
+//     floats must be formatted by the canonical formatters in table.go
+//     (FormatCell / FormatFloat / formatCells), never by an ad-hoc bare
+//     %v or %g verb — two call sites choosing different verbs or
+//     precisions for the same value is exactly how two otherwise identical
+//     runs stop being byte-identical.
+//   - boxing: in the hot-path packages (segment, motion, sim, trajectory,
+//     batch) the value unions segment.Seg, motion.Mover and motion.Contact
+//     must not be implicitly converted to interface types (each conversion
+//     heap-allocates a copy), and fmt may only be used on error paths:
+//     fmt.Errorf, panic messages, and String/Error/GoString methods. This
+//     is the static complement of TestRendezvousHotAllocGate.
+//
+// Suppressions are explicit:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// written trailing on the offending line or alone on the line directly
+// above it. The reason is mandatory — a directive without one is itself a
+// diagnostic — as are directives naming unknown analyzers and directives
+// that suppress nothing.
+//
+// The driver discovers packages with `go list -json -deps` (CGO disabled)
+// and type-checks them from source with go/parser + go/types — dependencies
+// with IgnoreFuncBodies, analyzed packages in full — so it needs nothing
+// beyond the standard library and the go toolchain; the module stays
+// zero-dependency. Only non-test files (GoFiles) are analyzed. cmd/repolint
+// is the CLI; `make lint` runs it together with gofmt -l and go vet.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one lint finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// TypeRef names a type by the last element of its package path and its
+// identifier, e.g. {"segment", "Seg"}.
+type TypeRef struct {
+	Pkg  string
+	Name string
+}
+
+// Config scopes the analyzers to package path suffixes and type names, so
+// the same analyzers run against both the real tree and the fixture
+// packages under testdata/src.
+type Config struct {
+	// WalltimePackages are the result-producing packages (matched by final
+	// import path element) where time.Now/time.Since are forbidden.
+	WalltimePackages []string
+	// FloatfmtPackages are the table-producing packages where ad-hoc
+	// %v/%g float formatting is forbidden.
+	FloatfmtPackages []string
+	// CanonicalFormatters are function names inside FloatfmtPackages that
+	// ARE the canonical formatter and are therefore exempt.
+	CanonicalFormatters []string
+	// BoxingPackages are the hot-path packages where union boxing and
+	// non-error fmt calls are forbidden.
+	BoxingPackages []string
+	// BoxingTypes are the value unions that must not be boxed.
+	BoxingTypes []TypeRef
+}
+
+// DefaultConfig pins the repo's invariants: which packages produce results,
+// which produce tables, and which unions carry the hot path.
+var DefaultConfig = Config{
+	WalltimePackages:    []string{"segment", "motion", "sim", "algo", "batch", "sampler", "trajectory", "analysis"},
+	FloatfmtPackages:    []string{"experiments"},
+	CanonicalFormatters: []string{"formatCells", "FormatCell", "FormatFloat"},
+	BoxingPackages:      []string{"segment", "motion", "sim", "trajectory", "batch"},
+	BoxingTypes: []TypeRef{
+		{Pkg: "segment", Name: "Seg"},
+		{Pkg: "motion", Name: "Mover"},
+		{Pkg: "motion", Name: "Contact"},
+	},
+}
+
+// An analyzer inspects one type-checked package and reports diagnostics
+// through the pass.
+type analyzer struct {
+	name string
+	run  func(*pass)
+}
+
+// analyzers is the fixed suite, in reporting-name order. Directive errors
+// are reported under the pseudo-analyzer name "lint".
+var analyzers = []analyzer{
+	{"globalrand", runGlobalrand},
+	{"walltime", runWalltime},
+	{"maporder", runMaporder},
+	{"floatfmt", runFloatfmt},
+	{"boxing", runBoxing},
+}
+
+func analyzerNames() []string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.name
+	}
+	return names
+}
+
+// pass is the per-package analysis context handed to each analyzer.
+type pass struct {
+	fset   *token.FileSet
+	path   string // import path of the package under analysis
+	files  []*ast.File
+	pkg    *types.Package
+	info   *types.Info
+	cfg    *Config
+	report func(analyzer string, pos token.Pos, msg string)
+}
+
+func (p *pass) reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.report(analyzer, pos, fmt.Sprintf(format, args...))
+}
+
+// analyze runs the full analyzer suite plus directive processing over one
+// type-checked package and returns the surviving diagnostics in position
+// order.
+func analyze(fset *token.FileSet, path string, files []*ast.File, pkg *types.Package, info *types.Info, cfg *Config) []Diagnostic {
+	type rawKey struct {
+		analyzer string
+		pos      token.Pos
+		msg      string
+	}
+	var raw []rawKey
+	seen := make(map[rawKey]bool)
+	p := &pass{
+		fset:  fset,
+		path:  path,
+		files: files,
+		pkg:   pkg,
+		info:  info,
+		cfg:   cfg,
+		report: func(analyzer string, pos token.Pos, msg string) {
+			k := rawKey{analyzer, pos, msg}
+			if !seen[k] {
+				seen[k] = true
+				raw = append(raw, k)
+			}
+		},
+	}
+	for _, a := range analyzers {
+		a.run(p)
+	}
+
+	dirs := collectDirectives(fset, files)
+	var diags []Diagnostic
+	for _, r := range raw {
+		if dirs.allowed(fset.Position(r.pos), r.analyzer) {
+			continue
+		}
+		diags = append(diags, Diagnostic{Pos: fset.Position(r.pos), Analyzer: r.analyzer, Message: r.msg})
+	}
+	diags = append(diags, dirs.diagnostics(fset)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// Run lints the module rooted at dir. Patterns defaults to ./...; cfg
+// defaults to DefaultConfig. It returns every diagnostic in file/position
+// order; an empty slice means the tree is clean.
+func Run(dir string, patterns []string, cfg *Config) ([]Diagnostic, error) {
+	if cfg == nil {
+		cfg = &DefaultConfig
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, index, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	for _, lp := range pkgs {
+		if !lp.Standard && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	// Dependency order: if A imports B then Deps(A) ⊃ Deps(B), so sorting
+	// by dep count checks every package after its imports and the resolver
+	// cache below always serves the fully-checked package object.
+	sort.Slice(targets, func(i, j int) bool {
+		if len(targets[i].Deps) != len(targets[j].Deps) {
+			return len(targets[i].Deps) < len(targets[j].Deps)
+		}
+		return targets[i].ImportPath < targets[j].ImportPath
+	})
+
+	fset := token.NewFileSet()
+	res := newResolver(fset, index)
+	var diags []Diagnostic
+	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, lp.Dir, lp.GoFiles, true)
+		if err != nil {
+			return nil, err
+		}
+		info := newTypeInfo()
+		conf := types.Config{Importer: res, FakeImportC: true}
+		pkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %v", lp.ImportPath, err)
+		}
+		res.cache[lp.ImportPath] = pkg
+		diags = append(diags, analyze(fset, lp.ImportPath, files, pkg, info, cfg)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func newTypeInfo() *types.Info {
+	return &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+}
+
+// pathMatches reports whether the final element of import path equals one
+// of names.
+func pathMatches(path string, names []string) bool {
+	for _, n := range names {
+		if path == n || strings.HasSuffix(path, "/"+n) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call's target when it is a plain function or
+// method call spelled through an identifier or selector; calls through
+// function values, conversions, and builtins yield nil.
+func calleeFunc(p *pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// rootIdent walks x.f[i].g chains down to the base identifier, if any.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inspectStmtLists calls fn for every statement list in the file (block
+// bodies, switch cases, select clauses) so callers can reason about a
+// statement together with the statements that follow it.
+func inspectStmtLists(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			fn(x.List)
+		case *ast.CaseClause:
+			fn(x.Body)
+		case *ast.CommClause:
+			fn(x.Body)
+		}
+		return true
+	})
+}
+
+// unlabel unwraps labeled statements: `L: for ... range m` is still a
+// range statement for analysis purposes.
+func unlabel(s ast.Stmt) ast.Stmt {
+	for {
+		l, ok := s.(*ast.LabeledStmt)
+		if !ok {
+			return s
+		}
+		s = l.Stmt
+	}
+}

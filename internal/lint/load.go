@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Deps       []string
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// listPackages shells out to `go list -e -json -deps` for the given
+// patterns and returns the packages in listing order plus an index by
+// import path. CGO is disabled so every listed file is pure Go and the
+// whole dependency graph — standard library included — can be type-checked
+// from source.
+func listPackages(dir string, patterns []string) ([]*listPkg, map[string]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, fmt.Errorf("lint: go list: %v", err)
+	}
+	var pkgs []*listPkg
+	index := make(map[string]*listPkg)
+	dec := json.NewDecoder(out)
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			cmd.Wait()
+			return nil, nil, fmt.Errorf("lint: go list -json: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+		index[lp.ImportPath] = lp
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, index, nil
+}
+
+// parseFiles parses the named files from dir. Comments are only kept for
+// packages under analysis; dependency parses skip them.
+func parseFiles(fset *token.FileSet, dir string, names []string, comments bool) ([]*ast.File, error) {
+	mode := parser.SkipObjectResolution
+	if comments {
+		mode |= parser.ParseComments
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// resolver type-checks imports on demand from the `go list -deps` universe,
+// caching one types.Package per import path so type identity holds across
+// the whole run. Dependencies are checked with IgnoreFuncBodies — only
+// their declarations matter to importers; packages under analysis are
+// checked in full by Run and inserted into the cache afterwards.
+type resolver struct {
+	fset   *token.FileSet
+	pkgs   map[string]*listPkg
+	cache  map[string]*types.Package
+	active map[string]bool
+}
+
+func newResolver(fset *token.FileSet, pkgs map[string]*listPkg) *resolver {
+	return &resolver{
+		fset:   fset,
+		pkgs:   pkgs,
+		cache:  make(map[string]*types.Package),
+		active: make(map[string]bool),
+	}
+}
+
+func (r *resolver) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := r.cache[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := r.pkgs[path]
+	if !ok {
+		// The standard library vendors its x/ dependencies: a source file
+		// imports golang.org/x/crypto/cryptobyte but go list reports the
+		// package as vendor/golang.org/x/crypto/cryptobyte.
+		lp, ok = r.pkgs["vendor/"+path]
+	}
+	if !ok {
+		return nil, fmt.Errorf("import %q not in the go list -deps universe", path)
+	}
+	if r.active[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	r.active[path] = true
+	defer delete(r.active, path)
+	files, err := parseFiles(r.fset, lp.Dir, lp.GoFiles, false)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: r, FakeImportC: true, IgnoreFuncBodies: true}
+	pkg, err := conf.Check(path, r.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck dependency %s: %v", path, err)
+	}
+	r.cache[path] = pkg
+	return pkg, nil
+}

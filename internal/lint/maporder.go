@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runMaporder flags `range` statements over maps whose bodies are
+// order-dependent: appending to a slice declared outside the loop (rows
+// collected in random order), folding floating-point accumulators (float
+// addition is not associative, so the fold's bytes depend on visit order),
+// or printing output directly. The append pattern is legitimized by sorting
+// the collected slice in a statement after the loop in the same block —
+// the merge and metrics paths all use collect-then-sort.
+func runMaporder(p *pass) {
+	for _, f := range p.files {
+		inspectStmtLists(f, func(list []ast.Stmt) {
+			for i, st := range list {
+				rs, ok := unlabel(st).(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := p.info.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				checkMapRange(p, rs, list[i+1:])
+			}
+		})
+	}
+}
+
+func checkMapRange(p *pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(p, rs, x, after)
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, x); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				switch fn.Name() {
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+					p.reportf("maporder", x.Pos(),
+						"fmt.%s inside a map range emits output in map-iteration order; collect and sort first", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkMapRangeAssign(p *pass, rs *ast.RangeStmt, as *ast.AssignStmt, after []ast.Stmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "append" {
+				continue
+			}
+			if _, ok := p.info.Uses[id].(*types.Builtin); !ok {
+				continue
+			}
+			dst := rootIdent(as.Lhs[i])
+			if dst == nil {
+				continue
+			}
+			obj := p.info.ObjectOf(dst)
+			if obj == nil || obj.Pos() >= rs.Pos() {
+				continue // loop-local accumulation cannot leak iteration order
+			}
+			if sortedAfter(p, after, obj) {
+				continue
+			}
+			p.reportf("maporder", call.Pos(),
+				"append to %q in map-iteration order with no following sort: map order is randomized and breaks byte-identity", dst.Name)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lt := p.info.TypeOf(as.Lhs[0])
+		if lt == nil {
+			return
+		}
+		b, ok := lt.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsFloat == 0 {
+			return
+		}
+		if id := rootIdent(as.Lhs[0]); id != nil {
+			if obj := p.info.ObjectOf(id); obj != nil && obj.Pos() >= rs.Pos() {
+				return
+			}
+		}
+		p.reportf("maporder", as.Pos(),
+			"floating-point accumulation in map-iteration order: float folds are not associative; iterate a sorted key slice")
+	}
+}
+
+// sortedAfter reports whether any statement after the range in the same
+// block calls a sort or slices ordering function mentioning obj.
+func sortedAfter(p *pass, after []ast.Stmt, obj types.Object) bool {
+	for _, st := range after {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && p.info.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

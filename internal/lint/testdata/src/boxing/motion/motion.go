@@ -1,0 +1,13 @@
+// Package motion declares the fixture stand-ins for the motion value
+// unions the boxing analyzer guards.
+package motion
+
+// Mover mirrors the real motion union.
+type Mover struct {
+	X float64
+}
+
+// Contact mirrors the real contact union.
+type Contact struct {
+	T float64
+}

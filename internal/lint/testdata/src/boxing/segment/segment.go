@@ -1,0 +1,10 @@
+// Package segment declares the fixture stand-in for the kind-tagged
+// value union the boxing analyzer guards.
+package segment
+
+// Seg mirrors the real segment union's shape: a value type that must not
+// be boxed into interfaces on the hot path.
+type Seg struct {
+	Kind int
+	A, B float64
+}

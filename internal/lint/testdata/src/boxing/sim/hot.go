@@ -1,0 +1,65 @@
+// Package sim is a fixture whose import path ends in /sim, putting it in
+// the boxing analyzer's hot-path scope: value unions must not be boxed
+// into interfaces, and fmt may only run on error paths.
+package sim
+
+import (
+	"fmt"
+
+	"boxing/motion"
+	"boxing/segment"
+)
+
+func sink(_ any) {}
+
+// Box passes a union value to an interface parameter.
+func Box(s segment.Seg) {
+	sink(s) // want "boxing: segment.Seg value implicitly converted"
+}
+
+// BoxPointer passes a pointer: one word in the interface, no copy, allowed.
+func BoxPointer(s *segment.Seg) {
+	sink(s)
+}
+
+// Assign stores a union value in an interface variable.
+func Assign(m motion.Mover) {
+	var x any = m // want "boxing: motion.Mover value implicitly converted"
+	_ = x
+}
+
+// Return hands a union value back as an interface.
+func Return(c motion.Contact) any {
+	return c // want "boxing: motion.Contact value implicitly converted"
+}
+
+// Collect builds an interface-element slice out of a union value.
+func Collect(s segment.Seg) []any {
+	return []any{s} // want "boxing: segment.Seg value implicitly converted"
+}
+
+// Print formats on a non-error path.
+func Print(s segment.Seg) {
+	fmt.Println(s.Kind) // want "boxing: fmt.Println on a non-error path"
+}
+
+// Fail constructs an error: error paths may format, and the union boxed
+// into Errorf's varargs rides along.
+func Fail(s segment.Seg) error {
+	return fmt.Errorf("bad seg kind %d", s.Kind)
+}
+
+// Guard panics with a formatted message: an error path.
+func Guard(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("negative duration %v", d))
+	}
+}
+
+// Walker exists to carry the String method below.
+type Walker struct{}
+
+// String implements fmt.Stringer; formatting inside it is sanctioned.
+func (Walker) String() string {
+	return fmt.Sprintf("walker@%d", 0)
+}

@@ -1,0 +1,39 @@
+// Package directives exercises the //lint:allow grammar: justified allows
+// suppress, and every malformed or dead directive is itself a diagnostic.
+// Expectations live in TestDirectivesFixture, not // want comments — a
+// trailing // want would be swallowed into the directive's reason text.
+package directives
+
+import "math/rand"
+
+// Allowed is suppressed by a justified trailing allow.
+func Allowed() int {
+	return rand.Intn(3) //lint:allow globalrand fixture exercises the sanctioned suppression path
+}
+
+// AllowedAbove is suppressed by a standalone allow on the line above.
+func AllowedAbove() int {
+	//lint:allow globalrand fixture exercises the line-above suppression form
+	return rand.Intn(3)
+}
+
+// MissingReason carries an allow with no reason: the directive errors and
+// the violation is NOT suppressed.
+func MissingReason() int {
+	return rand.Intn(3) //lint:allow globalrand
+}
+
+// UnknownAnalyzer names an analyzer that does not exist.
+func UnknownAnalyzer() int {
+	return rand.Intn(3) //lint:allow nosuchanalyzer because it does not exist
+}
+
+// Unused allows on a line with nothing to suppress.
+func Unused() int {
+	return 4 //lint:allow globalrand chosen by fair dice roll, nothing to suppress
+}
+
+// BadVerb uses a verb the grammar does not define.
+func BadVerb() int {
+	return 5 //lint:ignore globalrand wrong verb
+}

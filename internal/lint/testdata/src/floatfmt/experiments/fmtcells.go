@@ -1,0 +1,41 @@
+// Package experiments is a fixture whose import path ends in
+// /experiments, putting it in the floatfmt analyzer's table-producing
+// scope. FormatCell below plays the canonical formatter.
+package experiments
+
+import "fmt"
+
+// Bad renders a float with a bare %v.
+func Bad(v float64) string {
+	return fmt.Sprintf("value=%v", v) // want "floatfmt: ad-hoc %v formatting of a float"
+}
+
+// BadG renders a float with a bare %g.
+func BadG(v float64) string {
+	return fmt.Sprintf("value=%g", v) // want "floatfmt: ad-hoc %g formatting of a float"
+}
+
+// BadSlice renders a float slice with a bare %v.
+func BadSlice(vs []float64) string {
+	return fmt.Sprintf("values=%v", vs) // want "floatfmt: ad-hoc %v formatting of a float"
+}
+
+// Precise uses an explicit precision: a deliberate, stable choice.
+func Precise(v float64) string {
+	return fmt.Sprintf("value=%.6g", v)
+}
+
+// NonFloat formats an int with %v: not a float, allowed.
+func NonFloat(n int) string {
+	return fmt.Sprintf("n=%v", n)
+}
+
+// Fail formats a float into error text: errors are not table output.
+func Fail(v float64) error {
+	return fmt.Errorf("bad value %v", v)
+}
+
+// FormatCell is this fixture's canonical formatter: exempt by name.
+func FormatCell(v float64) string {
+	return fmt.Sprintf("%v", v)
+}

@@ -1,0 +1,37 @@
+// Package globalrand seeds violations for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad draws from the shared global source.
+func Bad() int {
+	return rand.Intn(10) // want "globalrand: call to global math/rand.Intn"
+}
+
+// BadFloat draws a float from the global source.
+func BadFloat() float64 {
+	return rand.Float64() // want "globalrand: call to global math/rand.Float64"
+}
+
+// BadShuffle permutes through the global source.
+func BadShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "globalrand: call to global math/rand.Shuffle"
+}
+
+// BadSeed seeds a source from the wall clock.
+func BadSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "globalrand: time-seeded math/rand source"
+}
+
+// Good derives a per-job generator from an explicit seed.
+func Good(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// GoodDraw draws from an explicit generator, not the global source.
+func GoodDraw(r *rand.Rand) float64 {
+	return r.Float64()
+}

@@ -1,0 +1,72 @@
+// Package maporder seeds violations for the maporder analyzer: bodies of
+// map ranges that leak Go's randomized iteration order into output.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rows collects map keys with no following sort: row order is random.
+func Rows(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k) // want "maporder: append to .rows. in map-iteration order"
+	}
+	return rows
+}
+
+// SortedRows collects then sorts in the same block: sanctioned pattern.
+func SortedRows(m map[string]int) []string {
+	var rows []string
+	for k := range m {
+		rows = append(rows, k)
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// Fold accumulates floats in map order; float addition is not associative.
+func Fold(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "maporder: floating-point accumulation in map-iteration order"
+	}
+	return sum
+}
+
+// Count folds integers: exact arithmetic is order-independent, allowed.
+func Count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Print emits output rows directly from the range body.
+func Print(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "maporder: fmt.Println inside a map range"
+	}
+}
+
+// SliceRows ranges a slice: iteration order is deterministic, allowed.
+func SliceRows(xs []string) []string {
+	var rows []string
+	for _, x := range xs {
+		rows = append(rows, x)
+	}
+	return rows
+}
+
+// LoopLocal appends to a slice born inside the loop body: nothing leaks.
+func LoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}

@@ -1,0 +1,16 @@
+// Package sim is a fixture whose import path ends in /sim, putting it in
+// the walltime analyzer's result-producing scope.
+package sim
+
+import "time"
+
+// Elapsed reads the wall clock twice; both reads are violations here.
+func Elapsed() float64 {
+	start := time.Now()                // want "walltime: time.Now in result-producing package"
+	return time.Since(start).Seconds() // want "walltime: time.Since in result-producing package"
+}
+
+// Duration arithmetic without a wall-clock read is fine.
+func Scale(d time.Duration) float64 {
+	return d.Seconds()
+}

@@ -1,0 +1,11 @@
+// Package telemetry is a fixture outside the walltime analyzer's scope:
+// monitor/telemetry timing is allowlisted, so the wall-clock read below
+// must produce no diagnostic.
+package telemetry
+
+import "time"
+
+// Stamp is telemetry timing, deliberately permitted.
+func Stamp() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "go/ast"
+
+// runWalltime flags wall-clock reads (time.Now, time.Since) in the
+// result-producing packages. Any timestamp taken there is one arithmetic
+// step away from a result cell, and a result that depends on when it was
+// computed is the definition of a byte-identity break. Telemetry and
+// progress timing belong in sweep/telemetry, which are not on the list.
+func runWalltime(p *pass) {
+	if !pathMatches(p.path, p.cfg.WalltimePackages) {
+		return
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if isPkgFunc(fn, "time", "Now") || isPkgFunc(fn, "time", "Since") {
+				p.reportf("walltime", call.Pos(),
+					"time.%s in result-producing package %q: wall-clock values must not be able to reach a result (telemetry timing belongs in sweep/telemetry)", fn.Name(), p.pkg.Name())
+			}
+			return true
+		})
+	}
+}
