@@ -20,7 +20,7 @@ FUZZTIME ?= 10s
 # time; without it benchmarks run the default 1s per benchmark.
 BENCHTIME := $(if $(QUICK),100x,1s)
 
-.PHONY: ci lint vet build test race gate batchgate convcheck bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck profile
+.PHONY: ci lint vet build test race gate batchgate convcheck bench bench-ci benchcheck benchcheck-history fuzz shardcheck loadcheck chaoscheck profile
 
 # loadcheck proves the rvserved serving path under real load: it builds the
 # daemon, boots it on an ephemeral port, drives LOADCLIENTS concurrent
@@ -35,6 +35,17 @@ loadcheck:
 	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
 	$(GO) run ./cmd/loadcheck -server "$$tmp/rvserved" -clients $(LOADCLIENTS) -duration $(LOADDURATION)
+
+# chaoscheck is the crash-safety gate: real rvserved processes under
+# deterministic fault injection (-chaos), SIGKILL power cuts, a scripted
+# crash point, and journal corruption. Asserts responses stay byte-identical
+# to a fault-free control, a power cut loses at most one journal window of
+# cached results, and damaged lines are counted (cache.corrupt) and
+# quarantined — see cmd/chaoscheck.
+chaoscheck:
+	@set -e; tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp/rvserved" ./cmd/rvserved; \
+	$(GO) run ./cmd/chaoscheck -server "$$tmp/rvserved"
 
 ci: lint build race gate batchgate convcheck
 
@@ -168,12 +179,14 @@ shardcheck:
 	echo "shard/merge output is byte-identical to the single-process run (incl. streaming merge with a retried straggler)"
 
 # Short fuzz passes over the property-based targets (grid-spec, shard-spec
-# and sampler-name parsing, τ-decomposition, Lambert W, and the
-# batch-vs-scalar kernel differential). Override FUZZTIME for
-# shorter/longer passes, e.g. `make fuzz FUZZTIME=5s`.
+# and sampler-name parsing, τ-decomposition, Lambert W, the batch-vs-scalar
+# kernel differential, and journal crash recovery — arbitrary journal bytes
+# must load without error and yield exactly the CRC-valid clean prefix).
+# Override FUZZTIME for shorter/longer passes, e.g. `make fuzz FUZZTIME=5s`.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzParseAxis -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run NONE -fuzz FuzzParseShard -fuzztime $(FUZZTIME) ./internal/sweep
 	$(GO) test -run NONE -fuzz FuzzParseSampler -fuzztime $(FUZZTIME) ./internal/sampler
 	$(GO) test -run NONE -fuzz FuzzDecomposeTau -fuzztime $(FUZZTIME) ./internal/bounds
 	$(GO) test -run NONE -fuzz FuzzBatchMatchesScalar -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run NONE -fuzz FuzzJournalRecover -fuzztime $(FUZZTIME) ./internal/cache

@@ -1,0 +1,405 @@
+// Command chaoscheck is the crash-safety gate: it drives real rvserved
+// processes through deterministic fault injection (-chaos), SIGKILL power
+// cuts, a scripted crash point, and journal corruption, and asserts the
+// durability contract end to end:
+//
+//   - responses under fault load are byte-identical to a fault-free control
+//     (faults may slow or crash the persistence path, never corrupt an
+//     answer);
+//   - a SIGKILL mid-operation loses at most one journal window of results
+//     (cache.JournalWindow) — the rest warm-load on restart;
+//   - damaged persistence lines are counted (cache.corrupt in /metrics) and
+//     skipped, never trusted, and recovery truncates torn journal tails so a
+//     later boot is clean;
+//   - a clean SIGTERM still leaves a loadable snapshot.
+//
+// Like loadcheck it spawns the prebuilt server binary, so the check covers
+// the real process lifecycle:
+//
+//	go build -o bin/rvserved ./cmd/rvserved
+//	go run ./cmd/chaoscheck -server bin/rvserved
+//
+// Exit status 0 means every assertion held. `make chaoscheck` wires this up,
+// and CI runs it on every push.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cache"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "bin/rvserved", "path to the rvserved binary")
+		queries = flag.Int("queries", 128, "distinct point queries per phase")
+	)
+	flag.Parse()
+	if err := run(*server, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "chaoscheck: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaoscheck: PASS")
+}
+
+// metricsDoc mirrors the parts of rvserved's GET /metrics this check reads.
+type metricsDoc struct {
+	Cache struct {
+		Lookups, Hits, Misses, Corrupt uint64
+		Len                            int
+	} `json:"cache"`
+}
+
+// daemon is one live rvserved process plus the captured halves of its
+// lifecycle: the base URL, its stderr (where chaos logs faults), and the
+// warm-start count it printed on boot.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string
+	stderr *lockedBuffer
+	warm   int
+}
+
+// lockedBuffer collects a subprocess's stderr while tee-ing it through, so
+// assertions can grep what the operator would have seen.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.buf.Write(p)
+	b.mu.Unlock()
+	return os.Stderr.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// start launches the server binary with the given extra flags and waits for
+// its listening line, harvesting the warm-start count on the way.
+func start(serverBin, cacheFile string, extra ...string) (*daemon, error) {
+	args := append([]string{"-addr", "127.0.0.1:0", "-cachefile", cacheFile}, extra...)
+	cmd := exec.Command(serverBin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{cmd: cmd, stderr: &lockedBuffer{}, warm: -1}
+	cmd.Stderr = d.stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", serverBin, err)
+	}
+
+	br := bufio.NewReader(stdout)
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return nil, fmt.Errorf("server exited before listening (args %v): %w", args, err)
+		}
+		if i := strings.Index(line, "warm with "); i >= 0 {
+			fmt.Sscanf(line[i:], "warm with %d results", &d.warm)
+		}
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			d.base = strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	go io.Copy(io.Discard, br) // keep draining so the server never blocks
+	return d, nil
+}
+
+// stop SIGTERMs the daemon and waits for the graceful shutdown flush.
+func (d *daemon) stop() error {
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	return d.cmd.Wait()
+}
+
+// kill SIGKILLs the daemon: the power cut. The exit error is expected.
+func (d *daemon) kill() {
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// pointQueries builds n distinct rendezvous point queries, all fast feasible
+// instances (distinct dy keeps every cache key unique).
+func pointQueries(n int) []string {
+	qs := make([]string, n)
+	for i := range qs {
+		qs[i] = fmt.Sprintf(`{"v":0.5,"dx":1,"dy":%.4f,"r":0.25}`, float64(i)/1000)
+	}
+	return qs
+}
+
+// normalize strips the timing field from a response and re-marshals it with
+// sorted keys, so fault-load responses compare byte-for-byte against the
+// control.
+func normalize(body []byte) (string, error) {
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return "", fmt.Errorf("response %q not JSON: %w", body, err)
+	}
+	delete(m, "elapsed_ms")
+	out, err := json.Marshal(m)
+	return string(out), err
+}
+
+func post(base, path, body string) (int, []byte, error) {
+	resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, data, err
+}
+
+// askAll fires every query at the daemon and returns the normalized
+// responses, failing on any non-200.
+func askAll(d *daemon, qs []string) ([]string, error) {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		status, body, err := post(d.base, "/v1/rendezvous", q)
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return nil, fmt.Errorf("query %d: status %d (%s)", i, status, body)
+		}
+		if out[i], err = normalize(body); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// mustMatch asserts a phase's responses equal the control's, query by query.
+func mustMatch(phase string, got, control []string) error {
+	for i := range control {
+		if got[i] != control[i] {
+			return fmt.Errorf("%s: query %d diverged from control:\n  got  %s\n  want %s",
+				phase, i, got[i], control[i])
+		}
+	}
+	return nil
+}
+
+func scrapeMetrics(base string) (metricsDoc, error) {
+	var m metricsDoc
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return m, err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return m, fmt.Errorf("decode /metrics: %w", err)
+	}
+	return m, nil
+}
+
+func run(serverBin string, queries int) error {
+	tmp, err := os.MkdirTemp("", "chaoscheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	cacheFile := filepath.Join(tmp, "served.jsonl")
+	controlFile := filepath.Join(tmp, "control.jsonl")
+	qs := pointQueries(queries)
+
+	// Phase 0 — control: a fault-free daemon answers every query; its
+	// normalized responses are the ground truth every faulted phase must
+	// reproduce exactly.
+	ctl, err := start(serverBin, controlFile)
+	if err != nil {
+		return err
+	}
+	control, err := askAll(ctl, qs)
+	if err != nil {
+		ctl.kill()
+		return fmt.Errorf("control phase: %w", err)
+	}
+	if err := ctl.stop(); err != nil {
+		return fmt.Errorf("control shutdown: %w", err)
+	}
+	fmt.Printf("chaoscheck: control recorded %d responses\n", len(control))
+
+	// Phase 1 — fault load + power cut: every snapshot write/sync/rename is
+	// fault-prone (1-in-3, deterministic), the flush interval is tight so
+	// many saves fail mid-flight, and the run ends in SIGKILL. Responses
+	// must still match the control byte for byte.
+	d1, err := start(serverBin, cacheFile,
+		"-chaos", "seed=7,every=3,kinds=err+short+latency,sites=cache.save",
+		"-flush", "200ms")
+	if err != nil {
+		return err
+	}
+	got, err := askAll(d1, qs)
+	if err != nil {
+		d1.kill()
+		return fmt.Errorf("chaos phase: %w", err)
+	}
+	if err := mustMatch("chaos phase", got, control); err != nil {
+		d1.kill()
+		return err
+	}
+	// Let several fault-prone flush cycles fire before the power cut.
+	time.Sleep(1200 * time.Millisecond)
+	d1.kill()
+	if log := d1.stderr.String(); !strings.Contains(log, "chaos: injected") {
+		return fmt.Errorf("chaos phase: no injected faults in stderr — the injector never reached the save path")
+	}
+
+	// Phase 2 — recovery: a clean daemon on the survivor file must warm-load
+	// all but at most one journal window of the results, report at most one
+	// torn record, and answer the control bytes again.
+	d2, err := start(serverBin, cacheFile)
+	if err != nil {
+		return fmt.Errorf("restart after SIGKILL: %w", err)
+	}
+	if floor := queries - cache.JournalWindow; d2.warm < floor {
+		d2.kill()
+		return fmt.Errorf("recovery lost too much: warm %d < %d (%d queries - one journal window of %d)",
+			d2.warm, floor, queries, cache.JournalWindow)
+	}
+	got, err = askAll(d2, qs)
+	if err != nil {
+		d2.kill()
+		return fmt.Errorf("recovery phase: %w", err)
+	}
+	if err := mustMatch("recovery phase", got, control); err != nil {
+		d2.kill()
+		return err
+	}
+	m, err := scrapeMetrics(d2.base)
+	if err != nil {
+		d2.kill()
+		return err
+	}
+	if m.Cache.Corrupt > 1 {
+		d2.kill()
+		return fmt.Errorf("recovery reported %d corrupt records; a SIGKILL tears at most one", m.Cache.Corrupt)
+	}
+	if err := d2.stop(); err != nil {
+		return fmt.Errorf("recovery shutdown: %w", err)
+	}
+	fmt.Printf("chaoscheck: SIGKILL recovery warm-loaded %d/%d results (corrupt %d)\n",
+		d2.warm, queries, m.Cache.Corrupt)
+
+	// Phase 3 — scripted crash: the daemon dies at exactly the third write
+	// of its first snapshot flush (exit 137, the simulated power cut at a
+	// chosen instant), and the next boot must still hold the full set.
+	d3, err := start(serverBin, cacheFile,
+		"-chaos", "crashat=cache.save.write:3",
+		"-flush", "100ms")
+	if err != nil {
+		return err
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- d3.cmd.Wait() }()
+	select {
+	case <-exited:
+	case <-time.After(15 * time.Second):
+		d3.cmd.Process.Kill()
+		return fmt.Errorf("crashat daemon still alive after 15s; the crash point never fired")
+	}
+	if code := d3.cmd.ProcessState.ExitCode(); code != 137 {
+		return fmt.Errorf("crashat daemon exited %d, want 137", code)
+	}
+	if log := d3.stderr.String(); !strings.Contains(log, "chaos: crash at cache.save.write invocation 3") {
+		return fmt.Errorf("crashat daemon stderr missing the crash-point log:\n%s", log)
+	}
+
+	d4, err := start(serverBin, cacheFile)
+	if err != nil {
+		return fmt.Errorf("restart after crash point: %w", err)
+	}
+	if floor := queries - cache.JournalWindow; d4.warm < floor {
+		d4.kill()
+		return fmt.Errorf("crash-point recovery lost too much: warm %d < %d", d4.warm, floor)
+	}
+	got, err = askAll(d4, qs)
+	if err != nil {
+		d4.kill()
+		return fmt.Errorf("crash-point recovery: %w", err)
+	}
+	if err := mustMatch("crash-point recovery", got, control); err != nil {
+		d4.kill()
+		return err
+	}
+	if err := d4.stop(); err != nil {
+		return fmt.Errorf("crash-point recovery shutdown: %w", err)
+	}
+	fmt.Printf("chaoscheck: crash-point recovery warm-loaded %d/%d results\n", d4.warm, queries)
+
+	// Phase 4 — corruption drill: garbage appended to the journal must be
+	// counted and skipped (never served), and the boot must truncate it away
+	// so the state self-heals.
+	jf, err := os.OpenFile(cacheFile+".journal", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := jf.WriteString("#deadbeef {\"k\":garbage\n#0000"); err != nil {
+		return err
+	}
+	jf.Close()
+
+	d5, err := start(serverBin, cacheFile)
+	if err != nil {
+		return fmt.Errorf("restart on corrupted journal: %w", err)
+	}
+	m, err = scrapeMetrics(d5.base)
+	if err != nil {
+		d5.kill()
+		return err
+	}
+	if m.Cache.Corrupt == 0 {
+		d5.kill()
+		return fmt.Errorf("corrupted journal not reported: cache.corrupt = 0")
+	}
+	got, err = askAll(d5, qs)
+	if err != nil {
+		d5.kill()
+		return fmt.Errorf("corruption phase: %w", err)
+	}
+	if err := mustMatch("corruption phase", got, control); err != nil {
+		d5.kill()
+		return err
+	}
+	if err := d5.stop(); err != nil {
+		return fmt.Errorf("corruption phase shutdown: %w", err)
+	}
+	fmt.Printf("chaoscheck: corrupted journal counted (%d) and quarantined\n", m.Cache.Corrupt)
+
+	// Final: the surviving file is loadable in-process too, with the full
+	// working set.
+	warm, err := cache.Open(cacheFile, 0)
+	if err != nil {
+		return fmt.Errorf("final reload: %w", err)
+	}
+	if warm.Len() < queries {
+		return fmt.Errorf("final reload holds %d results, want at least %d", warm.Len(), queries)
+	}
+	return nil
+}

@@ -58,6 +58,25 @@
 //	-batch            route /v1/sweep through the SoA batch kernels, which
 //	                  amortize trajectory generation across whole grid rows
 //	                  (default true; responses are byte-identical either way)
+//	-timeout D        per-request simulation deadline (default 60s; 0
+//	                  disables). The deadline threads into the horizon-walk
+//	                  loops (sim.Options.Ctx), so a query that would walk past
+//	                  it is canceled mid-walk and answered 503 + Retry-After,
+//	                  with the requests.deadline counter incremented. A valid
+//	                  query that completes in time is byte-identical with any
+//	                  timeout value.
+//	-chaos SPEC       deterministic fault injection into the cache persistence
+//	                  path (see internal/chaos): e.g.
+//	                  "seed=7,every=3,kinds=err+short,sites=cache.save".
+//	                  Faults are a pure function of (seed, site, invocation
+//	                  count) — reruns replay the exact schedule. For crash
+//	                  drills and cmd/chaoscheck, not production.
+//
+// Durability: the cache file is written via fsync + atomic rename, every
+// record is CRC-framed, and Puts between flushes append to a sidecar journal
+// (<cachefile>.journal) replayed on boot — a SIGKILL loses at most the
+// unflushed journal tail (< one journal window). Damaged lines are counted
+// (cache.corrupt in /metrics) and skipped, never trusted.
 package main
 
 import (
@@ -72,6 +91,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/chaos"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
 )
@@ -87,25 +107,51 @@ func main() {
 		sweepJobs    = flag.Int("sweep-jobs", 4096, "per-sweep job budget (grid points × samples)")
 		metricsFlush = flag.Duration("metrics-flush", telemetry.DefaultInterval, "telemetry flush interval")
 		batch        = flag.Bool("batch", true, "route /v1/sweep through the SoA batch kernels (identical responses)")
+		timeout      = flag.Duration("timeout", time.Minute, "per-request simulation deadline (0 disables; expiry answers 503)")
+		chaosSpec    = flag.String("chaos", "", "deterministic fault-injection spec for the cache persistence path (see internal/chaos; empty disables)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *cacheFile, *cacheSize, *flushEvery, *sweeps, *sweepJobs, *metricsFlush, *batch); err != nil {
+	if err := run(*addr, *workers, *cacheFile, *cacheSize, *flushEvery, *sweeps, *sweepJobs, *metricsFlush, *batch, *timeout, *chaosSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "rvserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery time.Duration, sweeps, sweepJobs int, metricsFlush time.Duration, batch bool) error {
+// defaultReadHeaderTimeout and defaultIdleTimeout are the server's slow-client
+// protections: a client that dribbles its request headers is cut off with 408
+// (slowloris protection), an idle keep-alive connection is reclaimed after two
+// minutes. Neither touches an accepted request's simulation budget — that is
+// -timeout's job.
+const (
+	defaultReadHeaderTimeout = 10 * time.Second
+	defaultIdleTimeout       = 2 * time.Minute
+)
+
+// newHTTPServer wraps a handler with the transport-level timeouts every
+// rvserved listener uses (the serving tests exercise the same constructor with
+// shorter values).
+func newHTTPServer(h http.Handler, readHeaderTimeout, idleTimeout time.Duration) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		IdleTimeout:       idleTimeout,
+	}
+}
+
+func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery time.Duration, sweeps, sweepJobs int, metricsFlush time.Duration, batch bool, timeout time.Duration, chaosSpec string) error {
 	if sweeps < 1 {
 		return fmt.Errorf("-sweeps must be at least 1")
 	}
 	if sweepJobs < 1 {
 		return fmt.Errorf("-sweep-jobs must be at least 1")
 	}
+	inj, err := chaos.Parse(chaosSpec)
+	if err != nil {
+		return fmt.Errorf("-chaos: %w", err)
+	}
 
 	var c *cache.Cache
 	if cacheFile != "" {
-		var err error
 		c, err = cache.Open(cacheFile, cacheSize)
 		if err != nil {
 			return fmt.Errorf("open cache: %w", err)
@@ -114,6 +160,7 @@ func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery t
 	} else {
 		c = cache.New(cacheSize)
 	}
+	c.SetChaos(inj)
 
 	pool := sweep.NewPool(workers)
 	defer pool.Close()
@@ -124,11 +171,8 @@ func run(addr string, workers int, cacheFile string, cacheSize int, flushEvery t
 	reg := telemetry.NewRegistry(metricsFlush)
 	reg.Start(ctx)
 
-	srv := newServer(c, pool, reg, sweeps, sweepJobs, maxRequestWorkers(), batch)
-	httpSrv := &http.Server{
-		Handler:           srv.routes(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	srv := newServer(c, pool, reg, sweeps, sweepJobs, maxRequestWorkers(), batch, timeout)
+	httpSrv := newHTTPServer(srv.routes(), defaultReadHeaderTimeout, defaultIdleTimeout)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -53,9 +54,16 @@ type server struct {
 	// (identical response bytes; batch.rows/batch.lanes count the kernel
 	// calls and the lanes they amortized).
 	batch bool
+	// timeout is the per-request simulation deadline (-timeout): each point
+	// query and sweep runs under a context that expires after it, the
+	// deadline propagates into the horizon-walk loops (sim.Options.Ctx),
+	// and an expired request answers 503 + Retry-After with the
+	// requests.deadline counter incremented. 0 disables.
+	timeout time.Duration
 
 	requests, errs, rejected *telemetry.Counter
 	batchRows, batchLanes    *telemetry.Counter
+	deadline                 *telemetry.Counter
 	sweepDepth               *telemetry.Gauge
 	// samplerUse counts sweep requests per draw source ("sampler.pseudo",
 	// "sampler.sobol", ...): the /metrics view of which estimators clients
@@ -66,8 +74,9 @@ type server struct {
 // newServer assembles the serving state. sweeps is the admission capacity of
 // /v1/sweep (0 rejects every sweep — useful in tests), maxSweepJobs the
 // per-request job budget, maxWorkers the cap on private worker budgets,
-// batch whether sweeps evaluate through the SoA batch kernels.
-func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps, maxSweepJobs, maxWorkers int, batch bool) *server {
+// batch whether sweeps evaluate through the SoA batch kernels, timeout the
+// per-request simulation deadline (0 disables).
+func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps, maxSweepJobs, maxWorkers int, batch bool, timeout time.Duration) *server {
 	s := &server{
 		cache:        c,
 		pool:         pool,
@@ -78,11 +87,13 @@ func newServer(c *cache.Cache, pool *sweep.Pool, reg *telemetry.Registry, sweeps
 		maxSweepJobs: maxSweepJobs,
 		maxWorkers:   maxWorkers,
 		batch:        batch,
+		timeout:      timeout,
 		requests:     reg.Counter("http.requests"),
 		errs:         reg.Counter("http.errors"),
 		rejected:     reg.Counter("sweep.rejected"),
 		batchRows:    reg.Counter("batch.rows"),
 		batchLanes:   reg.Counter("batch.lanes"),
+		deadline:     reg.Counter("requests.deadline"),
 		sweepDepth:   reg.Gauge("sweep.in_flight"),
 		samplerUse:   make(map[sampler.Kind]*telemetry.Counter),
 	}
@@ -135,6 +146,36 @@ func (e *httpError) Error() string { return e.msg }
 
 func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// requestCtx derives the per-request simulation context: the client's
+// request context (so a dropped connection cancels the walk) bounded by the
+// server's -timeout deadline. With no timeout the request context is used
+// as-is.
+func (s *server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.timeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.timeout)
+}
+
+// queryError classifies a simulation error: a cancellation — the request
+// deadline expiring mid-walk, or the client going away — is 503 +
+// Retry-After with the requests.deadline counter incremented (the work was
+// valid, the time budget was not); anything else is the client's 400. The
+// cancel sentinels are matched through the sweep engine's wrappers
+// (JobError, LaneError) via errors.Is.
+func (s *server) queryError(err error) error {
+	if errors.Is(err, sim.ErrCanceled) || errors.Is(err, sweep.ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.deadline.Inc()
+		return &httpError{
+			status: http.StatusServiceUnavailable,
+			msg:    fmt.Sprintf("deadline exceeded: %v", err),
+			header: map[string]string{"Retry-After": strconv.Itoa(retryAfterSeconds)},
+		}
+	}
+	return badRequest("%v", err)
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -280,10 +321,12 @@ func (s *server) handleRendezvous(w http.ResponseWriter, r *http.Request) error 
 	if req.Horizon != nil {
 		horizon = *req.Horizon
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	start := time.Now()
-	res, err := s.cache.Rendezvous(programID, program, in, sim.Options{Horizon: horizon})
+	res, err := s.cache.Rendezvous(programID, program, in, sim.Options{Horizon: horizon, Ctx: ctx})
 	if err != nil {
-		return badRequest("%v", err)
+		return s.queryError(err)
 	}
 	writeJSON(w, http.StatusOK, toSimResponse(res, horizon, programID, time.Since(start)))
 	return nil
@@ -320,10 +363,12 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) error {
 	if req.Horizon != nil {
 		horizon = *req.Horizon
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	start := time.Now()
-	res, err := s.cache.Search(programID, program, geom.V(req.X, req.Y), radius, sim.Options{Horizon: horizon})
+	res, err := s.cache.Search(programID, program, geom.V(req.X, req.Y), radius, sim.Options{Horizon: horizon, Ctx: ctx})
 	if err != nil {
-		return badRequest("%v", err)
+		return s.queryError(err)
 	}
 	writeJSON(w, http.StatusOK, toSimResponse(res, horizon, programID, time.Since(start)))
 	return nil
@@ -409,6 +454,8 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		}
 	}
 
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	s.samplerUse[samplerKind].Inc()
 	cfg := experiments.Config{
 		Seed:    req.Seed,
@@ -418,6 +465,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 		Monitor: s.mon,
 		Pool:    s.pool,
 		Batch:   s.batch,
+		Ctx:     ctx,
 		OnBatch: func(rows, lanes int) {
 			s.batchRows.Add(uint64(rows))
 			s.batchLanes.Add(uint64(lanes))
@@ -433,7 +481,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
 	start := time.Now()
 	res, err := experiments.SweepGrid(req.Axes, req.Algo, cfg)
 	if err != nil {
-		return badRequest("%v", err)
+		return s.queryError(err)
 	}
 	writeJSON(w, http.StatusOK, struct {
 		*experiments.GridResult

@@ -22,7 +22,7 @@ func newTestServer(t *testing.T, c *cache.Cache, sweeps int) (*server, *httptest
 	t.Helper()
 	pool := sweep.NewPool(2)
 	t.Cleanup(pool.Close)
-	s := newServer(c, pool, telemetry.NewRegistry(0), sweeps, 512, 4, true)
+	s := newServer(c, pool, telemetry.NewRegistry(0), sweeps, 512, 4, true, 0)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -39,10 +39,12 @@ package cache
 
 import (
 	"container/list"
+	"encoding/json"
 	"errors"
 	"math"
 	"sync"
 
+	"repro/internal/chaos"
 	"repro/internal/geom"
 	"repro/internal/sim"
 	"repro/internal/trajectory"
@@ -153,11 +155,21 @@ type Cache struct {
 	// /metrics scrape racing a lookup could observe counters that don't add
 	// up; see TestStatsCoherentUnderLoad.)
 	lookups, hits, misses, dedups uint64
-	cap                           int
-	ll                            *list.List // front = most recently used
-	index                         map[Key]*list.Element
-	flight                        map[Key]*flightCall // in-flight compute-through calls
-	path                          string              // "" = memory only
+	// corrupt counts damaged disk-layer lines observed (and skipped or
+	// truncated) by Merge/Open and the journal replay: recovery after a
+	// crash is loss-bounded and *accounted*, never silent.
+	corrupt uint64
+	cap     int
+	ll      *list.List // front = most recently used
+	index   map[Key]*list.Element
+	flight  map[Key]*flightCall // in-flight compute-through calls
+	path    string              // "" = memory only
+	// jour is the append-only durability journal between snapshot flushes;
+	// non-nil only for disk-backed caches built by Open. Guarded by mu.
+	jour *journal
+	// chaos, when non-nil, is the deterministic fault injector the save and
+	// journal paths thread through (see internal/chaos). Guarded by mu.
+	chaos *chaos.Injector
 
 	// saveMu serializes Save/SaveAs flushes: a long-running process flushes
 	// periodically and again on shutdown, and overlapping writers to one
@@ -212,13 +224,27 @@ func (c *Cache) Get(k Key) (sim.Result, bool) {
 }
 
 // Put stores the result for k, evicting the least recently used entry when
-// the cache is full. A nil receiver is a no-op.
+// the cache is full. On a disk-backed cache the entry is also appended to
+// the durability journal, so a crash before the next snapshot flush loses
+// at most the unflushed journal tail (see JournalWindow). A nil receiver is
+// a no-op.
 func (c *Cache) Put(k Key, res sim.Result) {
+	c.put(k, res, true)
+}
+
+// put is Put with the journal append optional: loads (Merge, journal
+// replay) must not re-journal the records they read back.
+func (c *Cache) put(k Key, res sim.Result, journal bool) {
 	if c == nil {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if journal && c.jour != nil {
+		if payload, err := json.Marshal(diskEntry{K: k, R: res}); err == nil {
+			c.jour.append(appendRecord(nil, payload), c.chaos)
+		}
+	}
 	if el, ok := c.index[k]; ok {
 		el.Value.(*entry).res = res
 		c.ll.MoveToFront(el)
@@ -230,6 +256,20 @@ func (c *Cache) Put(k Key, res sim.Result) {
 		c.ll.Remove(oldest)
 		delete(c.index, oldest.Value.(*entry).key)
 	}
+}
+
+// SetChaos installs a deterministic fault injector on the disk layer's
+// write paths (snapshot save and journal append) — the seam cmd/chaoscheck
+// and the rvserved -chaos flag use. A nil injector (the default) costs
+// nothing. Safe to call concurrently with any other method; nil receivers
+// are a no-op.
+func (c *Cache) SetChaos(inj *chaos.Injector) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.chaos = inj
 }
 
 // Len returns the number of cached results.
@@ -246,9 +286,12 @@ func (c *Cache) Len() int {
 // in one critical section: Hits + Misses == Lookups holds in every snapshot,
 // however many lookups are racing the scrape. Dedups counts compute-through
 // calls that joined an in-flight identical computation instead of simulating
-// (each also counted one miss when it looked up).
+// (each also counted one miss when it looked up). Corrupt counts damaged
+// disk-layer lines skipped by Merge/Open and torn journal tails truncated
+// during recovery — zero on a healthy store.
 type Stats struct {
 	Lookups, Hits, Misses, Dedups uint64
+	Corrupt                       uint64
 	Len, Cap                      int
 }
 
@@ -262,7 +305,8 @@ func (c *Cache) Stats() Stats {
 	defer c.mu.Unlock()
 	return Stats{
 		Lookups: c.lookups, Hits: c.hits, Misses: c.misses, Dedups: c.dedups,
-		Len: c.ll.Len(), Cap: c.cap,
+		Corrupt: c.corrupt,
+		Len:     c.ll.Len(), Cap: c.cap,
 	}
 }
 

@@ -1,19 +1,24 @@
 package cache
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 
 	"repro/internal/sim"
 )
 
-// The on-disk layer is a JSON-lines file (see lines.go): one
-// {"k": Key, "r": Result} object per line, oldest entry first. Go's JSON
-// encoder emits the shortest decimal representation of every float64, which
+// The on-disk layer is a JSON-lines file (see lines.go): one checksummed
+// record per line — "#crc32c {"k": Key, "r": Result}" (record.go) — oldest
+// entry first, plus the append-only journal sibling <path>.journal
+// (journal.go) holding the Puts since the last snapshot. Legacy snapshot
+// lines without a checksum frame are still accepted. Go's JSON encoder
+// emits the shortest decimal representation of every float64, which
 // round-trips bit-exactly, so a result served from disk is indistinguishable
-// from a fresh simulation. Malformed lines (a truncated tail after a crash,
-// say) are skipped rather than fatal: the cache is an accelerator, never a
-// source of truth.
+// from a fresh simulation. Damaged lines (a torn tail after a crash, a
+// flipped byte) are counted in Stats.Corrupt and warned to stderr, then
+// skipped rather than fatal: the cache is an accelerator, never a source of
+// truth — but its losses are bounded and accounted, never silent.
 
 type diskEntry struct {
 	K Key        `json:"k"`
@@ -21,14 +26,18 @@ type diskEntry struct {
 }
 
 // Open returns a cache backed by the JSON-lines file at path, loading any
-// entries already there (a missing file is an empty cache, not an error).
-// Call Save to persist the current contents back.
+// entries already there (a missing file is an empty cache, not an error)
+// and then replaying the journal sibling <path>.journal — the Puts that
+// landed after the last snapshot flush — truncating it at the first torn
+// record. Call Save to persist the current contents back (which also
+// compacts the journal).
 //
 // Any warm paths are additional cache files folded in first, union-style —
 // the shard caches a distributed run emitted, say — so the cache starts from
 // the fleet's combined work. They are read once and never written back to;
-// on a key held by several layers, later warm files win over earlier ones
-// and path's own entries win over every warm file.
+// on a key held by several layers, later warm files win over earlier ones,
+// path's own entries win over every warm file, and journal records win over
+// the snapshot.
 func Open(path string, capacity int, warm ...string) (*Cache, error) {
 	c := New(capacity)
 	c.path = path
@@ -38,6 +47,17 @@ func Open(path string, capacity int, warm ...string) (*Cache, error) {
 	if _, err := c.Merge(path); err != nil {
 		return nil, err
 	}
+	jpath := path + ".journal"
+	if err := c.replayJournal(jpath); err != nil {
+		return nil, err
+	}
+	jour, err := openJournal(jpath)
+	if err != nil {
+		return nil, fmt.Errorf("cache: open journal: %w", err)
+	}
+	c.mu.Lock()
+	c.jour = jour
+	c.mu.Unlock()
 	return c, nil
 }
 
@@ -45,21 +65,37 @@ func Open(path string, capacity int, warm ...string) (*Cache, error) {
 // in argument order — the union of the layers, with the last writer winning
 // when several files (or several lines of one file) carry the same key.
 // Missing files are skipped (a shard whose run never saved a cache is not an
-// error) and damaged lines are skipped as in Open: the cache is an
-// accelerator, never a source of truth. It returns the number of entries
-// folded in. A nil receiver is a no-op.
+// error). Damaged lines — checksum mismatches on framed records, undecodable
+// payloads, the torn tail a crash leaves — are counted in Stats.Corrupt and
+// warned to stderr, then skipped: the cache is an accelerator, never a
+// source of truth, but its losses are accounted. It returns the number of
+// entries folded in. A nil receiver is a no-op.
 func (c *Cache) Merge(paths ...string) (int, error) {
 	if c == nil {
 		return 0, nil
 	}
 	total := 0
 	for _, path := range paths {
+		lineNo := 0
+		damaged := func(reason string) {
+			c.mu.Lock()
+			c.corrupt++
+			c.mu.Unlock()
+			warnf("cache: %s line %d: %s: skipping", path, lineNo, reason)
+		}
 		_, err := ReadJSONLines(path, func(data []byte) error {
-			var e diskEntry
-			if json.Unmarshal(data, &e) != nil {
-				return nil // damaged line: skip, do not fail the run
+			lineNo++
+			payload, _, perr := parseRecord(data)
+			if perr != nil {
+				damaged(perr.Error())
+				return nil
 			}
-			c.Put(e.K, e.R)
+			var e diskEntry
+			if uerr := json.Unmarshal(payload, &e); uerr != nil {
+				damaged(fmt.Sprintf("damaged record: %v", uerr))
+				return nil
+			}
+			c.put(e.K, e.R, false)
 			total++
 			return nil
 		})
@@ -79,10 +115,13 @@ func (c *Cache) Path() string {
 }
 
 // Save writes the cache contents to the disk layer, least recently used
-// first so a reload reconstructs the same eviction order. It writes to a
-// temporary file and renames, so a concurrent reader never observes a
-// partial file, and flushes of one cache are serialized against each other
-// (see SaveAs). Memory-only caches (and nil receivers) are a no-op.
+// first so a reload reconstructs the same eviction order, and compacts the
+// journal: once the snapshot rename lands, the journal restarts from only
+// the records that arrived during the write. It writes to a temporary file,
+// fsyncs, and renames, so a concurrent reader never observes a partial file
+// and a crash cannot surface a torn one. Flushes of one cache are
+// serialized against each other (see SaveAs). Memory-only caches (and nil
+// receivers) are a no-op.
 func (c *Cache) Save() error {
 	if c == nil || c.path == "" {
 		return nil
@@ -103,6 +142,11 @@ func (c *Cache) Save() error {
 // own unique temp file, and serializing makes the *last* flush's contents
 // the file's final contents instead of whichever rename happens to run
 // second with an older snapshot.
+//
+// Saving to the cache's own disk layer additionally compacts the journal;
+// the compaction protocol keeps records that land during the write (see
+// journal.endCompact), so a Put can never fall between the snapshot and the
+// truncation.
 func (c *Cache) SaveAs(path string) error {
 	if c == nil {
 		return nil
@@ -110,6 +154,11 @@ func (c *Cache) SaveAs(path string) error {
 	c.saveMu.Lock()
 	defer c.saveMu.Unlock()
 	c.mu.Lock()
+	inj := c.chaos
+	compact := path == c.path && c.jour != nil
+	if compact {
+		c.jour.beginCompact()
+	}
 	entries := make([]diskEntry, 0, c.ll.Len())
 	for el := c.ll.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
@@ -117,14 +166,30 @@ func (c *Cache) SaveAs(path string) error {
 	}
 	c.mu.Unlock()
 
-	err := WriteJSONLines(path, func(enc *json.Encoder) error {
+	err := writeFile(inj, path, func(w *bufio.Writer) error {
+		var line []byte
 		for _, e := range entries {
-			if err := enc.Encode(e); err != nil {
-				return err
+			payload, merr := json.Marshal(e)
+			if merr != nil {
+				return merr
+			}
+			line = appendRecord(line[:0], payload)
+			if _, werr := w.Write(line); werr != nil {
+				return werr
 			}
 		}
 		return nil
 	})
+
+	if compact {
+		c.mu.Lock()
+		if err != nil {
+			c.jour.abortCompact()
+		} else if cerr := c.jour.endCompact(); cerr != nil {
+			warnf("cache: journal %s: compact: %v", c.jour.path, cerr)
+		}
+		c.mu.Unlock()
+	}
 	if err != nil {
 		return fmt.Errorf("cache: save: %w", err)
 	}

@@ -1,0 +1,343 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// captureWarnings swaps the package warn hook for the test's lifetime and
+// returns the accumulated text via the closure.
+func captureWarnings(t *testing.T) func() string {
+	t.Helper()
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	old := warnf
+	warnf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(&buf, format+"\n", args...)
+	}
+	t.Cleanup(func() { warnf = old })
+	return func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.String()
+	}
+}
+
+func testKey(i int) Key {
+	return Key{Kind: "search", Program: fmt.Sprintf("p%d", i), Horizon: Quantize(float64(i))}
+}
+
+func testResult(i int) sim.Result {
+	return sim.Result{Met: true, Time: float64(i) * 1.5, Intervals: i}
+}
+
+// TestChecksummedRoundTrip: Save emits framed records, Open verifies every
+// one, and the reloaded cache is identical with zero corruption.
+func TestChecksummedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	c, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Put(testKey(i), testResult(i))
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n")) {
+		if line[0] != '#' {
+			t.Fatalf("unframed snapshot line: %q", line)
+		}
+	}
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 10 {
+		t.Fatalf("reloaded %d entries, want 10", re.Len())
+	}
+	if got := re.Stats().Corrupt; got != 0 {
+		t.Fatalf("Corrupt = %d on a healthy store", got)
+	}
+	for i := 0; i < 10; i++ {
+		res, ok := re.Get(testKey(i))
+		if !ok || res != testResult(i) {
+			t.Fatalf("entry %d: got (%v, %v)", i, res, ok)
+		}
+	}
+}
+
+// TestCorruptLinesCountedAndWarned: a mid-file corrupt record (flipped
+// payload byte under a valid frame) and a truncated tail line are skipped,
+// counted in Stats.Corrupt, and warned to stderr — while a legacy
+// unchecksummed line is still accepted.
+func TestCorruptLinesCountedAndWarned(t *testing.T) {
+	warned := captureWarnings(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	c, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(testKey(i), testResult(i))
+	}
+	if err := c.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Mid-file corruption: flip one payload byte of the second record (the
+	// frame's checksum now mismatches).
+	lines[1][len(lines[1])/2]++
+	// Truncated tail: the crash signature — the last record cut mid-write.
+	last := lines[3]
+	lines[3] = last[:len(last)/2]
+	// A legacy unchecksummed line, still accepted.
+	legacy, _ := json.Marshal(diskEntry{K: testKey(99), R: testResult(99)})
+	mangled := append(bytes.Join(lines[:3], nil), append(legacy, '\n')...)
+	mangled = append(mangled, lines[3]...)
+	if err := os.WriteFile(path, mangled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lines 0 and 2 survive, the legacy line loads, lines 1 and the torn
+	// tail are counted.
+	if re.Len() != 3 {
+		t.Fatalf("loaded %d entries, want 3", re.Len())
+	}
+	if got := re.Stats().Corrupt; got != 2 {
+		t.Fatalf("Corrupt = %d, want 2 (one flipped byte, one torn tail)", got)
+	}
+	if _, ok := re.Get(testKey(99)); !ok {
+		t.Fatal("legacy unchecksummed line was not accepted")
+	}
+	if w := warned(); !strings.Contains(w, "checksum mismatch") || !strings.Contains(w, "skipping") {
+		t.Fatalf("warnings missing: %q", w)
+	}
+}
+
+// TestJournalRecovery: Puts on a disk-backed cache survive a reload with no
+// Save at all — the journal holds them — and Save compacts the journal.
+func TestJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	c, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 windows exactly: every record reaches the journal file.
+	n := 2 * JournalWindow
+	for i := 0; i < n; i++ {
+		c.Put(testKey(i), testResult(i))
+	}
+	// No Save: the snapshot file does not even exist.
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot exists before any Save (err=%v)", err)
+	}
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != n {
+		t.Fatalf("journal replay recovered %d entries, want %d", re.Len(), n)
+	}
+	if got := re.Stats().Corrupt; got != 0 {
+		t.Fatalf("Corrupt = %d after clean replay", got)
+	}
+	for i := 0; i < n; i++ {
+		if res, ok := re.Get(testKey(i)); !ok || res != testResult(i) {
+			t.Fatalf("entry %d: got (%v, %v)", i, res, ok)
+		}
+	}
+
+	// Save compacts: the journal shrinks to the records that raced the
+	// snapshot (none here), and a reload still sees everything.
+	if err := re.Save(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path + ".journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("journal holds %d bytes after compaction, want 0", st.Size())
+	}
+	re2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re2.Len() != n {
+		t.Fatalf("post-compaction reload: %d entries, want %d", re2.Len(), n)
+	}
+}
+
+// TestJournalTornTailTruncated: arbitrary garbage appended to the journal
+// (the torn record a crash mid-append leaves) is truncated at recovery,
+// counted once in Stats.Corrupt, and every record before it survives.
+func TestJournalTornTailTruncated(t *testing.T) {
+	warned := captureWarnings(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	c, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < JournalWindow; i++ {
+		c.Put(testKey(i), testResult(i))
+	}
+	jpath := path + ".journal"
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`#deadbeef {"k":` + "\x00garbage"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != JournalWindow {
+		t.Fatalf("recovered %d entries, want %d", re.Len(), JournalWindow)
+	}
+	if got := re.Stats().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+	if w := warned(); !strings.Contains(w, "torn record") {
+		t.Fatalf("truncation not warned: %q", w)
+	}
+	// The file itself was truncated back to the good prefix: a third load
+	// is clean.
+	re2, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re2.Stats().Corrupt; got != 0 {
+		t.Fatalf("Corrupt = %d after self-healing truncation, want 0", got)
+	}
+}
+
+// TestSaveDuringPutsLosesNothing: Puts racing a Save land either in the
+// snapshot or in the compacted journal's tail — the compaction protocol
+// cannot drop a record that arrived between the entry copy and the journal
+// swap.
+func TestSaveDuringPutsLosesNothing(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.jsonl")
+	c, err := Open(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 512
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < n; i++ {
+			c.Put(testKey(i), testResult(i))
+		}
+	}()
+	for {
+		if err := c.Save(); err != nil {
+			t.Error(err)
+		}
+		select {
+		case <-done:
+			if err := c.Save(); err != nil {
+				t.Fatal(err)
+			}
+			re, err := Open(path, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if re.Len() != n {
+				t.Fatalf("recovered %d entries, want %d", re.Len(), n)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// FuzzJournalRecover: arbitrary byte-level corruption of a journal file
+// never panics, never errors the Open, and never yields a record that did
+// not verify its checksum — the recovered entry count is bounded by the
+// number of CRC-valid framed records in the longest clean prefix, which the
+// fuzz body re-derives independently.
+func FuzzJournalRecover(f *testing.F) {
+	var seedLines []byte
+	for i := 0; i < 3; i++ {
+		payload, _ := json.Marshal(diskEntry{K: testKey(i), R: testResult(i)})
+		seedLines = appendRecord(seedLines, payload)
+	}
+	f.Add(seedLines)
+	f.Add([]byte{})
+	f.Add([]byte("#deadbeef {\"k\":{}}\n"))
+	f.Add(append(append([]byte{}, seedLines...), "#00"...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		old := warnf
+		warnf = func(string, ...any) {}
+		defer func() { warnf = old }()
+
+		dir := t.TempDir()
+		path := filepath.Join(dir, "c.jsonl")
+		if err := os.WriteFile(path+".journal", data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Open(path, 0)
+		if err != nil {
+			t.Fatalf("Open on corrupt journal errored: %v", err)
+		}
+
+		// Independent count of the clean prefix's valid records.
+		valid := 0
+		rest := data
+		for {
+			i := bytes.IndexByte(rest, '\n')
+			if i < 0 {
+				break
+			}
+			payload, checked, perr := parseRecord(rest[:i])
+			if perr != nil || !checked {
+				break
+			}
+			var e diskEntry
+			if json.Unmarshal(payload, &e) != nil {
+				break
+			}
+			valid++
+			rest = rest[i+1:]
+		}
+		if c.Len() > valid {
+			t.Fatalf("recovered %d entries from a prefix holding %d valid records", c.Len(), valid)
+		}
+	})
+}

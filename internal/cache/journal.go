@@ -1,0 +1,233 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/chaos"
+)
+
+// The append-only journal closes the durability gap between snapshot
+// flushes: every Put on a disk-backed cache appends one checksummed record
+// (record.go) to <path>.journal, buffered and written to the file every
+// JournalWindow records, so a SIGKILL at any instant loses at most the
+// unflushed buffer — bounded by one journal window — instead of everything
+// since the last flush. Open replays the journal after the snapshot (last
+// writer wins) and truncates it at the first torn record; Save compacts it:
+// once a snapshot rename lands, the journal restarts from the records that
+// arrived after the snapshot's entry copy (the tail), so no concurrent Put
+// can fall between the snapshot and the truncation.
+//
+// Every journal mutation happens under the cache's mu — Put already holds
+// it — so the journal needs no lock of its own.
+
+// JournalWindow is the journal flush granularity in records: a crash loses
+// at most the records buffered since the last flush, which is fewer than
+// one window. cmd/chaoscheck asserts this bound end to end.
+const JournalWindow = 64
+
+// journalMaxBuffer caps the retained buffer when the journal file is
+// unwritable (a full disk, an injected fault): beyond it, buffered records
+// are dropped — counted and warned, never silent.
+const journalMaxBuffer = 1 << 20
+
+type journal struct {
+	path string
+	f    *os.File
+	size int64  // bytes durably written to the file
+	buf  []byte // framed records not yet written
+	n    int    // records in buf
+	// Compaction tail: between beginCompact (the snapshot's entry copy) and
+	// endCompact (its rename landing), every appended record is also kept in
+	// tail; endCompact makes tail the journal's entire contents, so records
+	// racing the snapshot write survive the truncation.
+	keeping bool
+	tail    []byte
+	drops   uint64
+}
+
+// openJournal opens (or creates) the journal file at path, positioned at
+// its current end. The caller replays and truncates torn tails first
+// (replayJournal), so the end is the last good record boundary.
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{path: path, f: f, size: size}, nil
+}
+
+// append buffers one framed record line, flushing when a window fills.
+// Flush failures are warned and retried on later appends, never fatal: the
+// journal is a loss bound, not a write barrier.
+func (j *journal) append(line []byte, inj *chaos.Injector) {
+	j.buf = append(j.buf, line...)
+	j.n++
+	if j.keeping {
+		j.tail = append(j.tail, line...)
+	}
+	if j.n >= JournalWindow {
+		if err := j.flush(inj); err != nil {
+			warnf("cache: journal %s: flush failed (will retry): %v", j.path, err)
+		}
+	}
+}
+
+// flush writes the buffered records to the file. A partial write is undone
+// (the file is truncated back to the last good boundary) and the buffer
+// retained for retry, up to journalMaxBuffer — beyond that the buffer is
+// dropped with a counted warning.
+func (j *journal) flush(inj *chaos.Injector) error {
+	if len(j.buf) == 0 {
+		return nil
+	}
+	w := inj.Writer("cache.journal.append", io.Writer(j.f))
+	if _, err := w.Write(j.buf); err != nil {
+		// Undo any torn bytes so the on-disk journal always ends at a
+		// record boundary, then retain (or, past the cap, drop) the buffer.
+		j.f.Truncate(j.size)
+		j.f.Seek(j.size, io.SeekStart)
+		if len(j.buf) > journalMaxBuffer {
+			j.drops += uint64(j.n)
+			warnf("cache: journal %s: dropping %d buffered records (%d bytes) after repeated flush failures",
+				j.path, j.n, len(j.buf))
+			j.buf = j.buf[:0]
+			j.n = 0
+		}
+		return err
+	}
+	j.size += int64(len(j.buf))
+	j.buf = j.buf[:0]
+	j.n = 0
+	return nil
+}
+
+// beginCompact marks the snapshot's entry-copy point: from here until
+// endCompact, appended records are also collected into the tail.
+func (j *journal) beginCompact() {
+	j.keeping = true
+	j.tail = nil
+}
+
+// abortCompact abandons a compaction whose snapshot failed: the journal
+// file keeps everything, so nothing is lost.
+func (j *journal) abortCompact() {
+	j.keeping = false
+	j.tail = nil
+}
+
+// endCompact completes a compaction whose snapshot rename landed: the
+// journal's entire contents become the tail — exactly the records not
+// covered by the snapshot. The swap is a temp-file write and an atomic
+// rename, so a crash at any instant leaves either the old journal (whose
+// replay over the new snapshot is idempotent) or the new tail journal —
+// never a window in which post-snapshot records exist nowhere. Records
+// buffered before the snapshot's entry copy are covered by the snapshot
+// itself, so discarding the write buffer is safe.
+func (j *journal) endCompact() error {
+	j.keeping = false
+	tail := j.tail
+	j.tail = nil
+	j.buf = j.buf[:0]
+	j.n = 0
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(j.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if len(tail) > 0 {
+		if _, err := tmp.Write(tail); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(j.path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(int64(len(tail)), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = f
+	j.size = int64(len(tail))
+	return nil
+}
+
+// replayJournal loads the journal at path into c (bypassing re-journaling),
+// truncating the file at the first torn record: any line that is missing
+// its newline, unframed, checksum-mismatched, or undecodable marks the torn
+// tail — everything before it is good, everything from it on is discarded.
+// The corrupt counter and a stderr warning account for the truncation.
+func (c *Cache) replayJournal(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cache: journal %s: %w", path, err)
+	}
+	good := 0 // byte offset of the first torn record (== len(data) if none)
+	torn := ""
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			torn = "record missing trailing newline"
+			break
+		}
+		line := data[good : good+nl]
+		payload, checked, perr := parseRecord(line)
+		if perr != nil {
+			torn = perr.Error()
+			break
+		}
+		if !checked {
+			torn = "unchecksummed record in journal"
+			break
+		}
+		var e diskEntry
+		if uerr := json.Unmarshal(payload, &e); uerr != nil {
+			torn = fmt.Sprintf("record payload: %v", uerr)
+			break
+		}
+		c.put(e.K, e.R, false)
+		good += nl + 1
+	}
+	if good < len(data) {
+		c.mu.Lock()
+		c.corrupt++
+		c.mu.Unlock()
+		warnf("cache: journal %s: torn record at byte %d (%s): truncating %d bytes",
+			path, good, torn, len(data)-good)
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return fmt.Errorf("cache: journal %s: truncate torn tail: %w", path, err)
+		}
+	}
+	return nil
+}

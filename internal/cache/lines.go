@@ -8,6 +8,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"repro/internal/chaos"
 )
 
 // The JSON-lines file layer: one JSON document per line, written through a
@@ -19,17 +21,31 @@ import (
 
 // WriteJSONLines streams JSON lines produced by emit into the file at path.
 // emit writes documents through the encoder (one Encode call per line). The
-// file appears atomically: a temporary sibling is written, flushed, closed,
-// and renamed over path only when emit and every flush succeeded.
+// file appears atomically: a temporary sibling is written, fsynced, closed,
+// and renamed over path only when emit and every flush succeeded, and the
+// parent directory is fsynced after the rename so the new name itself is
+// durable — a crash immediately after WriteJSONLines returns cannot surface
+// an empty or torn file.
 func WriteJSONLines(path string, emit func(enc *json.Encoder) error) error {
+	return writeFile(nil, path, func(w *bufio.Writer) error {
+		return emit(json.NewEncoder(w))
+	})
+}
+
+// writeFile is the durable temp-file/rename writer behind WriteJSONLines
+// and the cache's checksummed SaveAs. The chaos injector, when non-nil,
+// interposes on the write ("cache.save.write"), the fsync
+// ("cache.save.sync"), and the rename ("cache.save.rename") — the seam
+// cmd/chaoscheck drives; a nil injector costs nothing.
+func writeFile(inj *chaos.Injector, path string, emit func(w *bufio.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	w := bufio.NewWriter(tmp)
-	if err := emit(json.NewEncoder(w)); err != nil {
+	w := bufio.NewWriter(inj.Writer("cache.save.write", tmp))
+	if err := emit(w); err != nil {
 		tmp.Close()
 		return fmt.Errorf("write %s: %w", path, err)
 	}
@@ -37,21 +53,51 @@ func WriteJSONLines(path string, emit func(enc *json.Encoder) error) error {
 		tmp.Close()
 		return fmt.Errorf("write %s: %w", path, err)
 	}
+	// fsync before the rename: the rename must never publish a name whose
+	// contents are still in the page cache only.
+	err = inj.Fail("cache.save.sync")
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		return fmt.Errorf("write %s: sync: %w", path, err)
+	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	err = inj.Fail("cache.save.rename")
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
+	// fsync the parent directory so the rename itself is durable. Some
+	// filesystems reject directory fsync; that is a reduced guarantee, not
+	// a failed write, so it only warns.
+	if err := syncDir(dir); err != nil {
+		warnf("cache: fsync dir %s after rename: %v", dir, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, persisting directory entries (renames).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // ReadJSONLines calls line with the raw bytes of every line of the file at
 // path (the buffer is only valid during the call). A missing file reports
 // found = false with no error, so callers can treat it as empty. What to do
-// with a line that fails to decode is the caller's policy — the cache and
-// the shard interchange both skip damaged lines rather than fail, because
-// both layers are accelerators, never sources of truth.
+// with a line that fails to decode is the caller's policy — the cache
+// counts and warns (see Merge), the shard interchange skips — because both
+// layers are accelerators, never sources of truth.
 func ReadJSONLines(path string, line func(data []byte) error) (found bool, err error) {
 	f, err := os.Open(path)
 	if errors.Is(err, fs.ErrNotExist) {

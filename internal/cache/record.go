@@ -1,0 +1,70 @@
+package cache
+
+import (
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Checksummed record framing for the disk layer: a framed line is
+//
+//	#xxxxxxxx {"k":...,"r":...}
+//
+// where xxxxxxxx is the CRC-32C (Castagnoli) of the payload bytes in
+// lower-case hex. Lines that do not start with '#' are legacy
+// unchecksummed records, still accepted when reading snapshots — a cache
+// file written before this framing loads unchanged — but the journal
+// (journal.go) accepts only framed lines: an unframed or mismatched
+// journal line is by definition a torn tail and truncates recovery there.
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated CRC
+// on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// recordPrefixLen is len("#xxxxxxxx ").
+const recordPrefixLen = 10
+
+// appendRecord appends the framed form of payload (with trailing newline)
+// to dst and returns the extended slice.
+func appendRecord(dst, payload []byte) []byte {
+	var sum [4]byte
+	crc := crc32.Checksum(payload, crcTable)
+	sum[0], sum[1], sum[2], sum[3] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	dst = append(dst, '#')
+	dst = hex.AppendEncode(dst, sum[:])
+	dst = append(dst, ' ')
+	dst = append(dst, payload...)
+	return append(dst, '\n')
+}
+
+// parseRecord splits one line into its payload. checked reports whether the
+// line carried a verified checksum; legacy (non-'#') lines return the whole
+// line with checked = false. A framed line whose checksum does not match —
+// or that is too short to hold one — is an error: a torn or corrupted
+// record.
+func parseRecord(line []byte) (payload []byte, checked bool, err error) {
+	if len(line) == 0 || line[0] != '#' {
+		return line, false, nil
+	}
+	if len(line) < recordPrefixLen || line[recordPrefixLen-1] != ' ' {
+		return nil, false, fmt.Errorf("cache: truncated record header")
+	}
+	var sum [4]byte
+	if _, err := hex.Decode(sum[:], line[1:recordPrefixLen-1]); err != nil {
+		return nil, false, fmt.Errorf("cache: bad record checksum: %v", err)
+	}
+	payload = line[recordPrefixLen:]
+	want := uint32(sum[0])<<24 | uint32(sum[1])<<16 | uint32(sum[2])<<8 | uint32(sum[3])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, false, fmt.Errorf("cache: record checksum mismatch (%08x != %08x)", got, want)
+	}
+	return payload, true, nil
+}
+
+// warnf reports a non-fatal disk-layer defect (a corrupt line, a failed
+// journal flush). It goes to stderr in production; tests swap it to capture
+// the warnings they assert on.
+var warnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}

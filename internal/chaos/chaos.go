@@ -1,0 +1,316 @@
+// Package chaos is a deterministic, seed-driven fault injector for the
+// persistence and serving paths: write errors, short writes, injected
+// latency, and crash points, decided by a pure function of (seed, site,
+// invocation count).
+//
+// # Determinism contract
+//
+// Whether the n-th invocation of a site faults — and which fault it gets —
+// depends only on the injector's seed, the site string, and n. Nothing is
+// drawn from wall clock, scheduling, or global RNG state, so a faulted run
+// is exactly reproducible: the same binary with the same -chaos spec
+// injects the same faults at the same invocations, which is what lets
+// cmd/chaoscheck assert byte-level recovery properties under fault load.
+// The injector mirrors the repo-wide determinism contract (see
+// internal/sampler's splitmix64 derivation): the decision hash is
+// splitmix64 over the seed, an FNV hash of the site, and the count.
+//
+// Faults are injected at named sites ("cache.save.write",
+// "cache.save.rename", "cache.journal.append", ...). A site is one
+// operation class; its invocation counter increments on every Fault call
+// regardless of outcome, so interleaving more sites never shifts another
+// site's schedule.
+//
+// A nil *Injector is a complete no-op at every call site — the production
+// path threads a nil injector through at zero cost.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is one injectable fault.
+type Kind uint8
+
+const (
+	// None injects nothing.
+	None Kind = iota
+	// Err fails the operation outright with ErrInjected.
+	Err
+	// Short performs half of a write, then fails (a torn record).
+	Short
+	// Latency delays the operation by a deterministic bounded duration.
+	Latency
+	// Crash terminates the process immediately (exit code 137, the
+	// SIGKILL convention): the simulated power cut.
+	Crash
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Err:
+		return "err"
+	case Short:
+		return "short"
+	case Latency:
+		return "latency"
+	case Crash:
+		return "crash"
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// ErrInjected is the error every injected write/sync/rename fault wraps;
+// callers distinguish injected faults from real I/O errors with errors.Is.
+var ErrInjected = fmt.Errorf("chaos: injected fault")
+
+// Injector decides faults deterministically. The zero value injects
+// nothing; build one with Parse. All methods are safe for concurrent use
+// and nil-receiver safe.
+type Injector struct {
+	seed   uint64
+	every  uint64   // fault when hash%every == 0 (0 disables the hash path)
+	kinds  []Kind   // enabled kinds, selected round-robin by hash
+	sites  []string // site prefixes the injector applies to (empty = all)
+	crSite string   // crashat site ("" = no crash point)
+	crN    uint64   // crashat invocation (1-based)
+
+	mu       sync.Mutex
+	counts   map[string]uint64
+	injected uint64
+
+	// Test seams: production uses os.Exit / time.Sleep / os.Stderr.
+	exit  func(code int)
+	sleep func(d time.Duration)
+	logw  io.Writer
+}
+
+// Parse builds an injector from a comma-separated spec:
+//
+//	seed=N                     decision seed (default 0)
+//	every=N                    fault roughly 1-in-N invocations (0 = never)
+//	kinds=err+short+latency    enabled fault kinds (default err)
+//	sites=cache.save|cache.journal
+//	                           site prefixes to fault (default: all sites)
+//	crashat=SITE:N             crash the process at the N-th invocation of
+//	                           SITE (1-based), independent of every/kinds
+//
+// An empty spec yields an injector that never faults (but still counts);
+// Parse("") is the explicit form of a disabled injector.
+func Parse(spec string) (*Injector, error) {
+	inj := &Injector{
+		counts: make(map[string]uint64),
+		exit:   os.Exit,
+		sleep:  time.Sleep,
+		logw:   os.Stderr,
+	}
+	if strings.TrimSpace(spec) == "" {
+		return inj, nil
+	}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: field %q: want key=value", field)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: seed %q: %v", val, err)
+			}
+			inj.seed = n
+		case "every":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: every %q: %v", val, err)
+			}
+			inj.every = n
+		case "kinds":
+			for _, name := range strings.Split(val, "+") {
+				var k Kind
+				switch name {
+				case "err":
+					k = Err
+				case "short":
+					k = Short
+				case "latency":
+					k = Latency
+				case "crash":
+					k = Crash
+				default:
+					return nil, fmt.Errorf("chaos: unknown kind %q (want err, short, latency, crash)", name)
+				}
+				inj.kinds = append(inj.kinds, k)
+			}
+		case "sites":
+			inj.sites = strings.Split(val, "|")
+		case "crashat":
+			site, nstr, ok := strings.Cut(val, ":")
+			if !ok || site == "" {
+				return nil, fmt.Errorf("chaos: crashat %q: want SITE:N", val)
+			}
+			n, err := strconv.ParseUint(nstr, 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("chaos: crashat %q: N must be a positive integer", val)
+			}
+			inj.crSite, inj.crN = site, n
+		default:
+			return nil, fmt.Errorf("chaos: unknown field %q", key)
+		}
+	}
+	if len(inj.kinds) == 0 {
+		inj.kinds = []Kind{Err}
+	}
+	return inj, nil
+}
+
+// fnv1a hashes a site name (FNV-1a 64): a stable, allocation-free string
+// hash whose value feeds the splitmix64 decision mix.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// splitmix is the splitmix64 finalizer (same constants as
+// internal/sampler): a full-avalanche mix of one 64-bit word.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// decide is the pure decision function: the fault (if any) for the n-th
+// invocation of site under seed. Exposed through Fault, which adds the
+// counting; decide itself has no state.
+func (inj *Injector) decide(site string, n uint64) Kind {
+	if site == inj.crSite && n == inj.crN {
+		return Crash
+	}
+	if inj.every == 0 || !inj.matches(site) {
+		return None
+	}
+	h := splitmix(splitmix(inj.seed^fnv1a(site)) + n)
+	if h%inj.every != 0 {
+		return None
+	}
+	return inj.kinds[(h/inj.every)%uint64(len(inj.kinds))]
+}
+
+// matches reports whether site falls under the configured site prefixes.
+func (inj *Injector) matches(site string) bool {
+	if len(inj.sites) == 0 {
+		return true
+	}
+	for _, p := range inj.sites {
+		if strings.HasPrefix(site, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Fault counts one invocation of site and returns the fault to inject (None
+// for the overwhelming majority). A Crash decision does not return: the
+// process exits with code 137 after logging the crash point. Every injected
+// fault is logged to stderr, so a supervising check can corroborate that
+// faults actually fired. Nil receivers never fault.
+func (inj *Injector) Fault(site string) Kind {
+	if inj == nil {
+		return None
+	}
+	inj.mu.Lock()
+	inj.counts[site]++
+	n := inj.counts[site]
+	k := inj.decide(site, n)
+	if k != None {
+		inj.injected++
+	}
+	exit, sleep, logw := inj.exit, inj.sleep, inj.logw
+	inj.mu.Unlock()
+
+	switch k {
+	case Crash:
+		fmt.Fprintf(logw, "chaos: crash at %s invocation %d\n", site, n)
+		exit(137)
+	case Latency:
+		fmt.Fprintf(logw, "chaos: injected latency at %s invocation %d\n", site, n)
+		// Deterministic bounded delay: 1–8ms derived from the same hash.
+		d := time.Duration(1+splitmix(inj.seed^fnv1a(site)+n)%8) * time.Millisecond
+		sleep(d)
+		return None // the operation itself proceeds untouched
+	case Err, Short:
+		fmt.Fprintf(logw, "chaos: injected %s at %s invocation %d\n", k, site, n)
+	}
+	return k
+}
+
+// Fail is the point-operation seam (sync, rename): it counts one invocation
+// and returns ErrInjected when the decision is a write-failing kind, nil
+// otherwise. Latency sleeps and succeeds; Crash exits.
+func (inj *Injector) Fail(site string) error {
+	switch inj.Fault(site) {
+	case Err, Short:
+		return fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	return nil
+}
+
+// Injected returns the number of faults injected so far (crashes excepted —
+// the process is gone). Nil receivers report 0.
+func (inj *Injector) Injected() uint64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.injected
+}
+
+// Writer wraps w so that every Write consults the injector at site: Err
+// fails the write outright, Short writes the first half then fails, Latency
+// delays it, Crash exits the process. A nil injector returns w unchanged —
+// the zero-cost production path.
+func (inj *Injector) Writer(site string, w io.Writer) io.Writer {
+	if inj == nil {
+		return w
+	}
+	return &faultWriter{inj: inj, site: site, w: w}
+}
+
+type faultWriter struct {
+	inj  *Injector
+	site string
+	w    io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	switch fw.inj.Fault(fw.site) {
+	case Err:
+		return 0, fmt.Errorf("%w at %s", ErrInjected, fw.site)
+	case Short:
+		n, err := fw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w at %s: short write", ErrInjected, fw.site)
+	}
+	return fw.w.Write(p)
+}

@@ -63,7 +63,7 @@ func gridBatchRow(grid sweep.Grid, names []string, samples int, programID string
 		if cfg.OnBatch != nil {
 			cfg.OnBatch(1, lanes.Len())
 		}
-		results, kerrs := sim.RendezvousBatch(program(), &lanes, sim.Options{})
+		results, kerrs := sim.RendezvousBatch(program(), &lanes, sim.Options{Ctx: cfg.Ctx})
 		for li, k := range laneOf {
 			i := indices[k]
 			if kerrs[li] != nil {
@@ -116,7 +116,7 @@ func e1BatchRow(grid sweep.Grid, dirs int, mc bool, cfg Config, indices []int, a
 		if cfg.OnBatch != nil {
 			cfg.OnBatch(1, lanes.Len())
 		}
-		results, kerrs := sim.SearchBatch(algo.CumulativeSearch(), &lanes, sim.Options{})
+		results, kerrs := sim.SearchBatch(algo.CumulativeSearch(), &lanes, sim.Options{Ctx: cfg.Ctx})
 		for li, k := range laneOf {
 			i := indices[k]
 			if kerrs[li] != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -74,6 +75,13 @@ type Config struct {
 	// telemetry. It must be safe for concurrent use: rows run on the sweep
 	// workers.
 	OnBatch func(rows, lanes int)
+	// Ctx, when non-nil, threads a cancellation context into the horizon
+	// walks of the grid sweeps (sim.Options.Ctx): a request deadline on
+	// cmd/rvserved cancels in-flight jobs mid-walk instead of waiting out
+	// their horizons. Results are byte-identical with Ctx nil or live —
+	// cancellation replaces results with an error, never alters them — and
+	// Ctx never enters a cache key.
+	Ctx context.Context
 
 	// sweepNames mints the deterministic per-sweep batch names ("E3#0",
 	// "E3#1", ...) that key the Store records. Each runner gets its own

@@ -186,7 +186,7 @@ func SweepGrid(specs []string, algoName string, cfg Config) (*GridResult, error)
 			if cfg.Samples > 0 {
 				in.D = geom.Polar(in.D.Norm(), 2*math.Pi*d.Float64(0))
 			}
-			res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in)})
+			res, err := cfg.Cache.Rendezvous(programID, program, in, sim.Options{Horizon: RendezvousHorizon(in), Ctx: cfg.Ctx})
 			if err != nil {
 				return gridOutcome{}, fmt.Errorf("point %v sample %d: %w", point, si, err)
 			}

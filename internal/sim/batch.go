@@ -70,10 +70,22 @@ func SearchBatch(program trajectory.Source, ln *batch.Lanes, opt Options) ([]Res
 		haveSeg  bool
 		t, start float64
 	)
+	segs := 0
 	for seg := range program {
 		if len(active) == 0 {
 			return results, errs
 		}
+		// The shared walk polls the context like the scalar loops do; on
+		// cancellation every still-active lane fails with the same error
+		// (finished lanes keep their results — they are already final).
+		if err := pollCtx(opt.Ctx, segs); err != nil {
+			for _, i := range active {
+				results[i] = Result{}
+				errs[i] = err
+			}
+			return results, errs
+		}
+		segs++
 		dur, plen := seg.DurationAndLength()
 		segStart := start
 		start = segStart + dur
@@ -297,6 +309,9 @@ func firstMeetingTape(sa, sb *tapeStream, r float64, opt Options) (Result, error
 	var res Result
 	t := 0.0
 	for t < opt.Horizon {
+		if err := pollCtx(opt.Ctx, res.Intervals); err != nil {
+			return Result{}, err
+		}
 		sa.motionAt(t)
 		sb.motionAt(t)
 

@@ -25,6 +25,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -50,6 +51,40 @@ type Options struct {
 	// MaxIters bounds conservative detection work per segment interval.
 	// Zero selects a generous default.
 	MaxIters int
+	// Ctx, when non-nil, lets a caller cancel a long walk mid-flight: the
+	// walk loops poll it every ctxStride segment intervals (cheap — one
+	// counter test per interval, one Err call per stride) and return an
+	// error wrapping both ErrCanceled and the context's cause. Results are
+	// bit-identical with Ctx nil or set-but-never-canceled: cancellation
+	// only ever replaces a result with an error, never alters one. Ctx is
+	// not part of a cache key (see internal/cache) — two calls differing
+	// only in Ctx are the same simulation.
+	Ctx context.Context
+}
+
+// ctxStride is how many segment intervals a walk processes between context
+// polls: coarse enough that the poll never shows up in the hot-path
+// benchmarks, fine enough that a deadline stops a long walk within
+// microseconds. The first interval of every walk polls (0 % ctxStride == 0),
+// so even a one-interval job observes an already-expired deadline.
+const ctxStride = 256
+
+// ErrCanceled is wrapped into the error a walk returns when its
+// Options.Ctx ends before the horizon; the context's own error
+// (context.Canceled or context.DeadlineExceeded) is wrapped alongside, so
+// errors.Is matches either.
+var ErrCanceled = errors.New("sim: walk canceled")
+
+// pollCtx checks ctx every ctxStride-th interval, returning the
+// cancellation error to surface (nil to continue).
+func pollCtx(ctx context.Context, intervals int) error {
+	if ctx == nil || intervals%ctxStride != 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w after %d intervals: %w", ErrCanceled, intervals, err)
+	}
+	return nil
 }
 
 // ErrBadOptions is returned for a non-positive horizon or radius.
@@ -194,6 +229,9 @@ func FirstMeeting(a, b trajectory.Source, r float64, opt Options) (Result, error
 	var res Result
 	t := 0.0
 	for t < opt.Horizon {
+		if err := pollCtx(opt.Ctx, res.Intervals); err != nil {
+			return Result{}, err
+		}
 		sa.motionAt(t)
 		sb.motionAt(t)
 
@@ -299,7 +337,7 @@ func Search(program trajectory.Source, target geom.Vec, r float64, opt Options) 
 	// The range-over-func loop body compiles to a closure over the walk
 	// state; keeping the state in one struct makes that a single capture
 	// (one allocation) instead of one heap box per local.
-	w := searchWalk{tgt: tgt, target: target, r: r, horizon: opt.Horizon, mopt: mopt}
+	w := searchWalk{tgt: tgt, target: target, r: r, horizon: opt.Horizon, mopt: mopt, ctx: opt.Ctx}
 	for seg := range program {
 		if !w.step(&seg) {
 			break
@@ -341,11 +379,17 @@ type searchWalk struct {
 	target     geom.Vec
 	r, horizon float64
 	mopt       motion.Options
+	ctx        context.Context
 }
 
 // step processes one program segment and reports whether the walk wants
 // more segments.
 func (w *searchWalk) step(seg *segment.Seg) bool {
+	if err := pollCtx(w.ctx, w.res.Intervals); err != nil {
+		w.retErr = err
+		w.finished = true
+		return false
+	}
 	dur, plen := seg.DurationAndLength()
 	segStart := w.start
 	w.start = segStart + dur
